@@ -1,0 +1,170 @@
+//! Substrate micro-benchmarks: the building blocks every experiment leans
+//! on (spatial join, LPM trie, BGP propagation, regex engine, right-of-way
+//! Dijkstra, relational queries). These are the ablation knobs DESIGN.md
+//! calls out — e.g. R-tree-backed nearest-site vs linear scan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use igdb_bench::{fixture, Scale};
+use igdb_geo::{haversine_km, GeoPoint, NearestSiteIndex};
+use igdb_net::{Ip4, Prefix, PrefixTrie, Propagator};
+
+fn bench_spatial_join(c: &mut Criterion) {
+    let f = fixture(Scale::Tiny);
+    let sites: Vec<GeoPoint> = f.igdb.metros.metros().iter().map(|m| m.loc).collect();
+    let index = NearestSiteIndex::new(sites.clone());
+    let probes: Vec<GeoPoint> = (0..1000)
+        .map(|i| GeoPoint::new((i as f64 * 0.7).rem_euclid(360.0) - 180.0, (i as f64 * 0.37).rem_euclid(160.0) - 80.0))
+        .collect();
+    let mut g = c.benchmark_group("spatial_join");
+    g.bench_function("rtree_nearest_1000", |b| {
+        b.iter(|| {
+            for p in &probes {
+                black_box(index.nearest(p));
+            }
+        })
+    });
+    // Ablation baseline: linear scan.
+    g.bench_function("linear_nearest_1000", |b| {
+        b.iter(|| {
+            for p in &probes {
+                let best = sites
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        haversine_km(p, a.1)
+                            .partial_cmp(&haversine_km(p, b.1))
+                            .unwrap()
+                    })
+                    .map(|(i, _)| i);
+                black_box(best);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let f = fixture(Scale::Tiny);
+    let rib: Vec<(Prefix, igdb_net::Asn)> = f
+        .snaps
+        .bgp_prefixes
+        .iter()
+        .map(|r| (r.prefix, r.origin))
+        .collect();
+    let mut trie = PrefixTrie::new();
+    for &(p, a) in &rib {
+        trie.insert(p, a);
+    }
+    let probes: Vec<Ip4> = (0..10_000u32).map(|i| Ip4(i.wrapping_mul(2654435761))).collect();
+    let mut g = c.benchmark_group("lpm");
+    g.bench_function("trie_lookup_10k", |b| {
+        b.iter(|| {
+            for &ip in &probes {
+                black_box(trie.lookup(ip));
+            }
+        })
+    });
+    // Ablation baseline: linear longest-match scan.
+    g.bench_function("linear_lookup_1k", |b| {
+        b.iter(|| {
+            for &ip in probes.iter().take(1000) {
+                let best = rib
+                    .iter()
+                    .filter(|(p, _)| p.contains(ip))
+                    .max_by_key(|(p, _)| p.len());
+                black_box(best);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let f = fixture(Scale::Tiny);
+    let prop = Propagator::new(&f.world.eco.graph);
+    let origins: Vec<igdb_net::Asn> = f.world.eco.graph.asns().into_iter().take(20).collect();
+    let mut g = c.benchmark_group("bgp");
+    g.bench_function("propagate_20_origins", |b| {
+        b.iter(|| {
+            for &o in &origins {
+                black_box(prop.propagate(o).reachable_count());
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_regex(c: &mut Criterion) {
+    let re = igdb_regex::Regex::new(
+        r"\.rcr\d+\.([a-z]{3})\d{2}\.atlas\.heartland\.com$",
+    )
+    .unwrap();
+    let f = fixture(Scale::Tiny);
+    let hostnames: Vec<&String> = f.igdb.rdns.values().take(2000).collect();
+    c.bench_function("hoiho_regex_2k_hostnames", |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            for h in &hostnames {
+                if re.captures(h).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_rightofway(c: &mut Criterion) {
+    let f = fixture(Scale::Tiny);
+    let kc = f.igdb.metros.by_name("Kansas City").unwrap();
+    let atl = f.igdb.metros.by_name("Atlanta").unwrap();
+    let mad = f.igdb.metros.by_name("Madrid").unwrap();
+    let ber = f.igdb.metros.by_name("Berlin").unwrap();
+    c.bench_function("row_shortest_path_2routes", |b| {
+        b.iter(|| {
+            black_box(f.igdb.roads.shortest_path(kc, atl));
+            black_box(f.igdb.roads.shortest_path(mad, ber));
+        })
+    });
+}
+
+fn bench_db_query(c: &mut Criterion) {
+    let f = fixture(Scale::Tiny);
+    let mut g = c.benchmark_group("db");
+    g.bench_function("indexed_asn_lookup", |b| {
+        let asn = igdb_db::Value::from(f.world.scenarios.globetrans.0);
+        b.iter(|| {
+            f.igdb
+                .db
+                .with_table("asn_loc", |t| black_box(t.lookup("asn", &asn).unwrap().len()))
+                .unwrap()
+        })
+    });
+    g.bench_function("group_by_density", |b| {
+        b.iter(|| {
+            f.igdb
+                .db
+                .with_table("phys_nodes", |t| {
+                    igdb_db::Query::new(t)
+                        .group_by(vec!["metro_id"], vec![igdb_db::Aggregate::Count])
+                        .unwrap()
+                        .len()
+                })
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_spatial_join,
+    bench_trie,
+    bench_bgp,
+    bench_regex,
+    bench_rightofway,
+    bench_db_query,
+);
+criterion_main!(substrates);

@@ -1,0 +1,29 @@
+//! Figure 10 — physical node density per Thiessen cell (map + CDF).
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::density::node_density;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let r = node_density(&f.igdb);
+    println!("{}", header(&format!("Figure 10 (scale: {scale:?})")));
+    println!("{}", compare_row("Total Thiessen cells", "7,342", r.total_cells));
+    println!("{}", compare_row("Cells with ≥1 physical node", "3,130", r.occupied_cells));
+    println!(
+        "{}",
+        compare_row("Occupied cells under 10 nodes", "most", format!("{:.0}%", 100.0 * r.under_ten_frac))
+    );
+    println!("CDF (nodes → fraction of occupied cells ≤ nodes):");
+    let step = (r.cdf.len() / 10).max(1);
+    for (i, (n, frac)) in r.cdf.iter().enumerate() {
+        if i % step == 0 || i + 1 == r.cdf.len() {
+            println!("  {n:>5} -> {:.3}", frac);
+        }
+    }
+    println!("densest cells:");
+    for &(m, n) in r.per_cell.iter().take(5) {
+        println!("  {:<28} {n}", f.igdb.metros.metro(m).label());
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 3 — the Thiessen tessellation of the world around urban areas.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let polys = f.igdb.metros.polygons();
+    let nonempty = polys.iter().filter(|p| !p.exterior.is_empty()).count();
+    let area: f64 = polys.iter().map(|p| p.signed_area_deg2().abs()).sum();
+    let world_area = 360.0 * 180.0;
+    let avg_vertices: f64 = polys
+        .iter()
+        .filter(|p| !p.exterior.is_empty())
+        .map(|p| p.exterior.len() as f64)
+        .sum::<f64>()
+        / nonempty.max(1) as f64;
+    println!("{}", header(&format!("Figure 3 (scale: {scale:?})")));
+    println!("{}", compare_row("Thiessen polygons", "7,342", nonempty));
+    println!(
+        "{}",
+        compare_row("Coverage of world bbox", "100%", format!("{:.2}%", 100.0 * area / world_area))
+    );
+    println!("{}", compare_row("Mean vertices per cell", "~6", format!("{avg_vertices:.1}")));
+    // Print one sample cell as WKT, as the map layer would consume it.
+    if let Some(p) = polys.iter().find(|p| !p.exterior.is_empty()) {
+        let wkt = igdb_geo::to_wkt(&igdb_geo::Geometry::Polygon(p.clone()));
+        println!("sample cell: {}…", &wkt[..wkt.len().min(96)]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 4 — InterTubes long-haul links vs iGDB shortest-path routes.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::intertubes::compare;
+use igdb_synth::intertubes::intertubes_recreation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let links = intertubes_recreation(&f.world.cities, &f.world.row);
+    let report = compare(&f.igdb, &links);
+    println!("{}", header(&format!("Figure 4 (scale: {scale:?})")));
+    println!(
+        "{}",
+        compare_row("Long-haul links within 25 mi of iGDB", "most", format!("{}/{}", report.covered, report.verdicts.len()))
+    );
+    println!(
+        "{}",
+        compare_row("Links NOT approximated", "≥1 (pipeline)", report.missed)
+    );
+    println!(
+        "{}",
+        compare_row("iGDB alternate corridors (purple)", "many", report.alternate_paths)
+    );
+    for v in report.verdicts.iter().filter(|v| !v.covered) {
+        println!(
+            "  missed: {} — {} (coverage {:.0}%{})",
+            f.igdb.metros.metro(v.from_city).label(),
+            f.igdb.metros.metro(v.to_city).label(),
+            v.coverage * 100.0,
+            if v.off_road { ", follows a pipeline right-of-way" } else { "" }
+        );
+    }
+}

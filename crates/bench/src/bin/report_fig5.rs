@@ -1,0 +1,20 @@
+//! Figure 5 — the world physical map (nodes, right-of-way paths, cables),
+//! exported as GeoJSON for any GIS.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::export::export_physical_map;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let map = export_physical_map(&f.igdb);
+    println!("{}", header(&format!("Figure 5 (scale: {scale:?})")));
+    println!("{}", compare_row("Node layer (orange points)", "29,220", map.node_points.len()));
+    println!("{}", compare_row("ROW path layer (green lines)", "8,323", map.row_paths.len()));
+    println!("{}", compare_row("Cable layer (purple lines)", "511", map.cable_paths.len()));
+    let out = std::path::Path::new("target/fig5_map.geojson");
+    std::fs::create_dir_all(out.parent().unwrap()).ok();
+    std::fs::write(out, map.to_geojson()).expect("write geojson");
+    println!("GeoJSON written to {}", out.display());
+}

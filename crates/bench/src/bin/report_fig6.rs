@@ -1,0 +1,21 @@
+//! Figure 6 — metro footprints and overlap of two US access ISPs.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::footprint::org_overlap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let r = org_overlap(&f.igdb, "Spectra Holdings", "CoastCable");
+    println!("{}", header(&format!("Figure 6 (scale: {scale:?})")));
+    println!("{}", compare_row("Charter-like ASNs", "4", r.asns_a.len()));
+    println!("{}", compare_row("Cox-like ASNs", "1", r.asns_b.len()));
+    println!("{}", compare_row("Charter-like metros (green)", "71", r.metros_a.len()));
+    println!("{}", compare_row("Cox-like metros (orange)", "30", r.metros_b.len()));
+    println!("{}", compare_row("Overlapping metros (red)", "10", r.shared.len()));
+    println!("shared metros:");
+    for &m in &r.shared {
+        println!("  {}", f.igdb.metros.metro(m).label());
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 7 — Kansas City → Atlanta: logical path, hidden hops, shortest
+//! practical physical path and distance cost.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::physpath::physical_path_report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let trace = f
+        .world
+        .traceroute_between(f.world.scenarios.anchor_kansas_city, f.world.scenarios.anchor_atlanta)
+        .expect("scenario traceroute");
+    let report = physical_path_report(&f.igdb, &trace.responding_ips()).expect("report");
+    let label = |m: &usize| f.igdb.metros.metro(*m).name.clone();
+    println!("{}", header(&format!("Figure 7 (scale: {scale:?})")));
+    println!(
+        "observed (blue):  {}",
+        report.observed_metros.iter().map(|m| label(m)).collect::<Vec<_>>().join(" -> ")
+    );
+    let hidden: Vec<String> = report
+        .legs
+        .iter()
+        .flat_map(|l| l.hidden_candidates.iter().map(|m| label(m)))
+        .collect();
+    println!("hidden candidates (green): {}", hidden.join(", "));
+    println!(
+        "practical (orange): {}",
+        report.practical_path.iter().map(|m| label(m)).collect::<Vec<_>>().join(" -> ")
+    );
+    println!("{}", compare_row("Inferred physical path length", "2,518 km", format!("{:.0} km", report.inferred_km)));
+    println!("{}", compare_row("Shortest practical path length", "1,282 km", format!("{:.0} km", report.practical_km)));
+    println!("{}", compare_row("Distance cost", "1.96", format!("{:.2}", report.distance_cost)));
+}

@@ -1,0 +1,19 @@
+//! Figure 8 — the Rocketfuel map remapped onto right-of-way corridors.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::rocketfuel::remap;
+use igdb_synth::intertubes::rocketfuel_recreation;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let map = rocketfuel_recreation(&f.world);
+    let r = remap(&f.igdb, &map);
+    println!("{}", header(&format!("Figure 8 (scale: {scale:?})")));
+    println!("{}", compare_row("Rocketfuel metros", "n/a", r.metros));
+    println!("{}", compare_row("Logical (straight-line) edges", "many", r.logical_edges));
+    println!("{}", compare_row("Edges mapped onto phys corridors", "most", r.mapped_edges));
+    println!("{}", compare_row("Distinct corridor segments", "fewer", r.distinct_corridor_segments));
+    println!("{}", compare_row("Collapse factor (edges/segment)", "> 1", format!("{:.2}", r.collapse_factor)));
+}

@@ -1,0 +1,42 @@
+//! Figures 1 & 9 — Madrid → Berlin fusion: the paper's motivating
+//! theoretical picture (Figure 1: 4 ASes, 10 cities, 6 countries) against
+//! the realized measurement (3 ASes, 5 cities, 3 countries).
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::fusion::fuse;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let trace = f
+        .world
+        .traceroute_between(f.world.scenarios.anchor_madrid, f.world.scenarios.anchor_berlin)
+        .expect("scenario traceroute");
+    let r = fuse(&f.igdb, &trace.responding_ips());
+    println!("{}", header(&format!("Figures 1 & 9 (scale: {scale:?})")));
+    println!("(Figure 1 theorized 4 ASes / 10 cities / 6 countries; the measurement collapses that)");
+    println!("{}", compare_row("ASes on the path", "3 (was 4)", r.ases.len()));
+    println!("{}", compare_row("Cities on the path", "5 (was 10)", r.metros.len()));
+    println!("{}", compare_row("Countries on the path", "3 (was 6)", r.countries.len()));
+    println!(
+        "{}",
+        compare_row("Hops geolocated (Hoiho + CBG)", "7 + 4", format!(
+            "{} (+{} CBG)",
+            r.hops_geolocated, r.hops_geolocated_by_cbg
+        ))
+    );
+    println!(
+        "path cities: {}",
+        r.metros.iter().map(|&m| f.igdb.metros.metro(m).label()).collect::<Vec<_>>().join(" -> ")
+    );
+    println!("AS spatial extents (metros / countries):");
+    for (asn, metros, countries) in &r.as_extents {
+        println!("  {asn}: {metros} metros, {countries} countries");
+    }
+    for (asn, hull) in &r.as_extent_hulls {
+        if let Some(wkt) = hull {
+            println!("  {asn} extent polygon: {}…", &wkt[..wkt.len().min(72)]);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! §4.4 — belief-propagation geolocation: new tuples, consistency, and the
+//! rDNS resolution funnel.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_core::analysis::beliefprop::{
+    consistency_check, missing_locations, propagate, BeliefPropParams,
+};
+use igdb_core::LocationSource;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let params = BeliefPropParams::default();
+    let bp = propagate(&f.igdb, &params);
+    let cons = consistency_check(&f.igdb, &params);
+
+    let total = f.igdb.ip_info.len() as f64;
+    let resolved = f.igdb.ip_info.values().filter(|i| i.fqdn.is_some()).count() as f64;
+    let hinted = f
+        .igdb
+        .ip_info
+        .values()
+        .filter(|i| i.geo_source == Some(LocationSource::Hoiho))
+        .count() as f64;
+
+    println!("{}", header(&format!("Section 4.4 (scale: {scale:?})")));
+    println!("{}", compare_row("Observed IPs without rDNS", "36%", format!("{:.0}%", 100.0 * (1.0 - resolved / total))));
+    println!("{}", compare_row("Resolving IPs without geohints", "86%", format!("{:.0}%", 100.0 * (1.0 - hinted / resolved.max(1.0)))));
+    println!("{}", compare_row("New (city, AS) tuples", "2,231", bp.new_tuples.len()));
+    println!("{}", compare_row("Metros gaining entries", "124", bp.new_metros));
+    println!("{}", compare_row("ASes gaining entries", "240", bp.new_ases));
+    println!("{}", compare_row("ASes gaining first location", "177", bp.ases_gaining_first_location));
+    println!("{}", compare_row("BP vs Hoiho/IXP agreement", "86%", format!("{:.0}% ({}/{})", 100.0 * cons.agreement(), cons.agreeing, cons.comparable)));
+    let missing = missing_locations(&f.igdb, f.world.scenarios.globetrans);
+    println!("{}", compare_row("Missing metros for the AS174-like", ">104", missing.len()));
+}

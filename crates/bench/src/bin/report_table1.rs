@@ -1,0 +1,64 @@
+//! Table 1 — "Select database characteristics": the headline row counts of
+//! the assembled database, next to the paper's published values.
+
+use igdb_bench::{compare_row, fixture, header, Scale};
+use igdb_db::Query;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let db = &f.igdb.db;
+
+    let distinct = |table: &str, col: &str| -> usize {
+        db.with_table(table, |t| {
+            Query::new(t).select(vec![col]).distinct().count().unwrap()
+        })
+        .unwrap()
+    };
+    // Organizations are WHOIS org entities (the ASRank source), matching
+    // how CAIDA counts them; other sources' spellings are aliases.
+    let org_entities = db
+        .with_table("asn_org", |t| {
+            igdb_db::Query::new(t)
+                .filter(igdb_db::Predicate::Eq(
+                    "source".into(),
+                    igdb_db::Value::text("asrank"),
+                ))
+                .select(vec!["organization"])
+                .distinct()
+                .count()
+                .unwrap()
+        })
+        .unwrap();
+    println!("{}", header(&format!("Table 1 (scale: {scale:?})")));
+    println!("{}", compare_row("Number of ASes", "102,216", distinct("asn_name", "asn")));
+    println!(
+        "{}",
+        compare_row("Number of organizations", "81,879", org_entities)
+    );
+    println!(
+        "{}",
+        compare_row("Number of physical nodes", "29,220", db.row_count("phys_nodes").unwrap())
+    );
+    println!(
+        "{}",
+        compare_row("Number of countries with nodes", "210", distinct("phys_nodes", "country"))
+    );
+    println!(
+        "{}",
+        compare_row("Number of inferred physical paths", "8,323", db.row_count("phys_conn").unwrap())
+    );
+    println!(
+        "{}",
+        compare_row("Number of submarine cables", "511", db.row_count("sub_cables").unwrap())
+    );
+    println!(
+        "{}",
+        compare_row("City locations (7,342 in §2)", "7,342", db.row_count("city_points").unwrap())
+    );
+    println!(
+        "{}",
+        compare_row("Links between ASNs (420,913 in §1)", "420,913", db.row_count("asn_conn").unwrap())
+    );
+}

@@ -1,0 +1,22 @@
+//! Table 2 — "ASes with physical presence in the most countries".
+
+use igdb_bench::{fixture, Scale};
+use igdb_core::analysis::footprint::top_by_countries;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    println!("== Table 2 (scale: {scale:?}) ==");
+    println!(
+        "(paper's top entries: CLOUDFLARENET 52, HURRICANE 50, MICROSOFT-CORP 50, COGENT-174 45 …)"
+    );
+    println!("{:<10} {:<24} {:<36} {:>9}", "ASNumber", "ASName", "Organization", "Countries");
+    println!("{}", "-".repeat(82));
+    for row in top_by_countries(&f.igdb, 11) {
+        println!(
+            "{:<10} {:<24} {:<36} {:>9}",
+            row.asn.0, row.as_name, row.organization, row.countries
+        );
+    }
+}

@@ -1,0 +1,424 @@
+//! §4.4 — Inferring geographic information from logical measurements.
+//!
+//! "We use a simple approach inspired from belief propagation … If the
+//! observed differential latency between IP_A and IP_B is less than 2 ms
+//! and both IP_A and IP_B are within 30 ms of the host that initiated the
+//! traceroute, we infer that IP_A is in the same location as IP_B. … we
+//! repeat these inferences in a series of iterations."
+//!
+//! Seeds are the Hoiho- and IXP-prefix-geolocated addresses from the base
+//! build. Each round scans every adjacent responding hop pair, collects
+//! same-location votes for unlocated addresses, and commits majority
+//! locations. The module also reproduces the paper's two §4.4 evaluations:
+//! the count of new `(city, AS)` tuples pushed into `asn_loc`, and the
+//! consistency check against Hoiho/IXP locations.
+
+use std::collections::{BTreeSet, HashMap};
+
+use igdb_net::{Asn, Ip4};
+
+use crate::build::{Igdb, LocationSource};
+
+/// Tunables (paper values as defaults).
+#[derive(Clone, Copy, Debug)]
+pub struct BeliefPropParams {
+    /// Same-metro differential-RTT bound, ms ("2 ms as the boundary
+    /// between metropolitan locations").
+    pub metro_threshold_ms: f64,
+    /// Both hops must be within this RTT of the probe, ms.
+    pub probe_rtt_max_ms: f64,
+    /// Maximum propagation rounds.
+    pub max_iterations: usize,
+}
+
+impl Default for BeliefPropParams {
+    fn default() -> Self {
+        Self {
+            metro_threshold_ms: 2.0,
+            probe_rtt_max_ms: 30.0,
+            max_iterations: 4,
+        }
+    }
+}
+
+/// Result of the propagation.
+#[derive(Clone, Debug)]
+pub struct BeliefPropReport {
+    /// Newly located addresses with their inferred metro, per round.
+    pub located_per_round: Vec<usize>,
+    /// All new address → metro assignments.
+    pub assignments: HashMap<Ip4, usize>,
+    /// New `(asn, metro)` tuples not present in the declared `asn_loc`.
+    pub new_tuples: Vec<(Asn, usize)>,
+    /// Distinct metros among the new tuples.
+    pub new_metros: usize,
+    /// Distinct ASes among the new tuples.
+    pub new_ases: usize,
+    /// ASes that previously had *no* location at all.
+    pub ases_gaining_first_location: usize,
+}
+
+/// Runs the belief propagation. Does not mutate `igdb`; call
+/// [`apply_inferences`] to push the tuples into `asn_loc`.
+pub fn propagate(igdb: &Igdb, params: &BeliefPropParams) -> BeliefPropReport {
+    // Seed locations.
+    let mut located: HashMap<Ip4, usize> = igdb
+        .ip_info
+        .iter()
+        .filter_map(|(&ip, info)| Some((ip, info.metro?)))
+        .collect();
+    let mut assignments: HashMap<Ip4, usize> = HashMap::new();
+    let mut located_per_round = Vec::new();
+
+    for _ in 0..params.max_iterations {
+        // Votes: unlocated address → metro → count.
+        let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
+        for tr in &igdb.traces {
+            // Only TTL-adjacent responding pairs qualify: a gap (star or
+            // hidden hop) means the two addresses need not be colocated.
+            let hops: Vec<(Ip4, f64, u8)> = tr
+                .hops
+                .iter()
+                .filter_map(|h| h.ip.map(|ip| (ip, h.rtt_ms, h.ttl)))
+                .collect();
+            for w in hops.windows(2) {
+                let ((ip_a, rtt_a, ttl_a), (ip_b, rtt_b, ttl_b)) = (w[0], w[1]);
+                // Adjacent, or separated by a single silent hop — the
+                // differential-latency bound still pins them to one metro,
+                // but the gapped form needs a tighter bound (the hidden
+                // router adds its own processing delay).
+                let gap = ttl_b.saturating_sub(ttl_a);
+                if gap > 2 || (gap == 2 && (rtt_a - rtt_b).abs() >= params.metro_threshold_ms / 2.0)
+                {
+                    continue;
+                }
+                if (rtt_a - rtt_b).abs() >= params.metro_threshold_ms {
+                    continue;
+                }
+                if rtt_a >= params.probe_rtt_max_ms || rtt_b >= params.probe_rtt_max_ms {
+                    continue;
+                }
+                // Anycast addresses have no single location to infer (§5).
+                let is_anycast =
+                    |ip: &Ip4| igdb.ip_info.get(ip).map(|i| i.anycast).unwrap_or(false);
+                match (located.get(&ip_a).copied(), located.get(&ip_b).copied()) {
+                    (None, Some(m)) if !is_anycast(&ip_a) => {
+                        *votes.entry(ip_a).or_default().entry(m).or_default() += 1;
+                    }
+                    (Some(m), None) if !is_anycast(&ip_b) => {
+                        *votes.entry(ip_b).or_default().entry(m).or_default() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Commit locations with a strict two-thirds majority — single
+        // noisy observations must not seed further propagation.
+        let mut committed = 0usize;
+        for (ip, ms) in votes {
+            let total: usize = ms.values().sum();
+            if let Some((&metro, &n)) = ms.iter().max_by_key(|&(m, n)| (*n, std::cmp::Reverse(*m)))
+            {
+                if 3 * n >= 2 * total {
+                    located.insert(ip, metro);
+                    assignments.insert(ip, metro);
+                    committed += 1;
+                }
+            }
+        }
+        located_per_round.push(committed);
+        if committed == 0 {
+            break;
+        }
+    }
+
+    // New (asn, metro) tuples.
+    let mut new_tuples: BTreeSet<(Asn, usize)> = BTreeSet::new();
+    for (&ip, &metro) in &assignments {
+        let Some(asn) = igdb.ip_info.get(&ip).and_then(|i| i.asn) else {
+            continue;
+        };
+        if !igdb.metros_of_asn(asn).contains(&metro) {
+            new_tuples.insert((asn, metro));
+        }
+    }
+    let new_metros = new_tuples
+        .iter()
+        .map(|&(_, m)| m)
+        .collect::<BTreeSet<_>>()
+        .len();
+    let involved: BTreeSet<Asn> = new_tuples.iter().map(|&(a, _)| a).collect();
+    let new_ases = involved.len();
+    let ases_gaining_first_location = involved
+        .iter()
+        .filter(|&&a| igdb.metros_of_asn(a).is_empty())
+        .count();
+    BeliefPropReport {
+        located_per_round,
+        assignments,
+        new_tuples: new_tuples.into_iter().collect(),
+        new_metros,
+        new_ases,
+        ases_gaining_first_location,
+    }
+}
+
+/// Pushes the report's tuples into `asn_loc`, tagged `inferred = true`.
+pub fn apply_inferences(igdb: &mut Igdb, report: &BeliefPropReport) -> usize {
+    for &(asn, metro) in &report.new_tuples {
+        igdb.add_inferred_location(asn, metro);
+    }
+    report.new_tuples.len()
+}
+
+/// The §4.4 consistency check: for every *seeded* address, what would its
+/// neighbours have concluded? Compares the neighbour-majority metro with
+/// the seed's own (Hoiho or IXP) metro. Paper: "86% of the output from
+/// belief propagation results in recovering the same metro area."
+#[derive(Clone, Copy, Debug)]
+pub struct ConsistencyReport {
+    pub comparable: usize,
+    pub agreeing: usize,
+}
+
+impl ConsistencyReport {
+    pub fn agreement(&self) -> f64 {
+        if self.comparable == 0 {
+            0.0
+        } else {
+            self.agreeing as f64 / self.comparable as f64
+        }
+    }
+}
+
+/// Runs the hold-one-out consistency evaluation over seeded addresses.
+pub fn consistency_check(igdb: &Igdb, params: &BeliefPropParams) -> ConsistencyReport {
+    // Final located set (seeds only — one round of neighbour votes tells
+    // us what propagation *would* say about each seed).
+    let located: HashMap<Ip4, usize> = igdb
+        .ip_info
+        .iter()
+        .filter_map(|(&ip, info)| Some((ip, info.metro?)))
+        .collect();
+    // Neighbour votes for every address, excluding its own seed.
+    let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
+    for tr in &igdb.traces {
+        let hops: Vec<(Ip4, f64, u8)> = tr
+            .hops
+            .iter()
+            .filter_map(|h| h.ip.map(|ip| (ip, h.rtt_ms, h.ttl)))
+            .collect();
+        for w in hops.windows(2) {
+            let ((ip_a, rtt_a, ttl_a), (ip_b, rtt_b, ttl_b)) = (w[0], w[1]);
+            if ttl_b != ttl_a + 1
+                || (rtt_a - rtt_b).abs() >= params.metro_threshold_ms
+                || rtt_a >= params.probe_rtt_max_ms
+                || rtt_b >= params.probe_rtt_max_ms
+            {
+                continue;
+            }
+            if let Some(&m) = located.get(&ip_b) {
+                *votes.entry(ip_a).or_default().entry(m).or_default() += 1;
+            }
+            if let Some(&m) = located.get(&ip_a) {
+                *votes.entry(ip_b).or_default().entry(m).or_default() += 1;
+            }
+        }
+    }
+    let mut comparable = 0usize;
+    let mut agreeing = 0usize;
+    for (ip, info) in &igdb.ip_info {
+        let (Some(seed_metro), Some(source)) = (info.metro, info.geo_source) else {
+            continue;
+        };
+        if !matches!(source, LocationSource::Hoiho | LocationSource::IxpPrefix) {
+            continue;
+        }
+        let Some(ms) = votes.get(ip) else { continue };
+        let total: usize = ms.values().sum();
+        let Some((&bp_metro, &n)) = ms.iter().max_by_key(|&(m, n)| (*n, std::cmp::Reverse(*m)))
+        else {
+            continue;
+        };
+        if 2 * n <= total {
+            continue;
+        }
+        comparable += 1;
+        if bp_metro == seed_metro {
+            agreeing += 1;
+        }
+    }
+    ConsistencyReport {
+        comparable,
+        agreeing,
+    }
+}
+
+/// Table 3 — metros an AS provably operates in (via rDNS geohints) that are
+/// missing from its declared `asn_loc` footprint. Returns
+/// `(metro, example hostname)` pairs.
+pub fn missing_locations(igdb: &Igdb, asn: Asn) -> Vec<(usize, String)> {
+    let declared: BTreeSet<usize> = igdb.metros_of_asn(asn).into_iter().collect();
+    let mut found: HashMap<usize, String> = HashMap::new();
+    for (ip, info) in &igdb.ip_info {
+        if info.asn != Some(asn) || info.geo_source != Some(LocationSource::Hoiho) {
+            continue;
+        }
+        let (Some(metro), Some(fqdn)) = (info.metro, info.fqdn.as_ref()) else {
+            continue;
+        };
+        if !declared.contains(&metro) {
+            found.entry(metro).or_insert_with(|| fqdn.clone());
+        }
+        let _ = ip;
+    }
+    let mut v: Vec<(usize, String)> = found.into_iter().collect();
+    v.sort_by_key(|&(m, _)| m);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+    fn built() -> (World, Igdb) {
+        let world = World::generate(WorldConfig::tiny());
+        let snaps = emit_snapshots(&world, "2022-05-03", 1200);
+        (world, Igdb::build(&snaps))
+    }
+
+    #[test]
+    fn propagation_locates_new_addresses() {
+        let (_, igdb) = built();
+        let report = propagate(&igdb, &BeliefPropParams::default());
+        let total: usize = report.located_per_round.iter().sum();
+        assert!(total > 10, "only {total} addresses newly located");
+        assert_eq!(total, report.assignments.len());
+    }
+
+    #[test]
+    fn propagation_accuracy_against_ground_truth() {
+        // The 2 ms differential bound resolves location to ~200 km (the
+        // distance light covers in fiber in 1 ms each way), so the method
+        // is scored at metro-area granularity: an inference is correct
+        // when it lands within 150 km of the true city — and most should
+        // be exactly right.
+        let (world, igdb) = built();
+        let report = propagate(&igdb, &BeliefPropParams::default());
+        let mut checked = 0;
+        let mut exact = 0;
+        let mut near = 0;
+        for (&ip, &metro) in &report.assignments {
+            let Some(truth) = world.truth_city_of_ip(ip) else {
+                continue;
+            };
+            checked += 1;
+            if truth == metro {
+                exact += 1;
+                near += 1;
+            } else {
+                let d = igdb_geo::haversine_km(
+                    &world.cities[truth].loc,
+                    &world.cities[metro].loc,
+                );
+                if d <= 150.0 {
+                    near += 1;
+                }
+            }
+        }
+        assert!(checked > 10);
+        assert!(
+            near * 100 >= checked * 85,
+            "belief prop within-150km accuracy {near}/{checked}"
+        );
+        assert!(
+            exact * 2 >= checked,
+            "belief prop exact accuracy {exact}/{checked}"
+        );
+    }
+
+    #[test]
+    fn new_tuples_found_and_applied() {
+        let (_, mut igdb) = built();
+        let report = propagate(&igdb, &BeliefPropParams::default());
+        assert!(
+            !report.new_tuples.is_empty(),
+            "no undeclared (asn, metro) tuples discovered"
+        );
+        assert!(report.new_metros > 0);
+        assert!(report.new_ases > 0);
+        let before = igdb.db.row_count("asn_loc").unwrap();
+        let applied = apply_inferences(&mut igdb, &report);
+        assert_eq!(igdb.db.row_count("asn_loc").unwrap(), before + applied);
+        // Applied rows carry the inferred flag.
+        igdb.db
+            .with_table("asn_loc", |t| {
+                let inferred = t
+                    .rows()
+                    .iter()
+                    .filter(|r| r[5] == igdb_db::Value::Bool(true))
+                    .count();
+                assert_eq!(inferred, applied);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn consistency_above_paper_floor() {
+        let (_, igdb) = built();
+        let report = consistency_check(&igdb, &BeliefPropParams::default());
+        assert!(report.comparable > 10, "only {} comparable", report.comparable);
+        assert!(
+            report.agreement() >= 0.7,
+            "agreement {} below the paper's ~0.86 band",
+            report.agreement()
+        );
+    }
+
+    #[test]
+    fn table3_missing_locations_for_underdeclared_as() {
+        let (world, igdb) = built();
+        let missing = missing_locations(&igdb, world.scenarios.globetrans);
+        // GlobeTrans declares 20 of 60 metros; GeoCode rDNS reveals many of
+        // the rest wherever its routers were traversed.
+        assert!(
+            !missing.is_empty(),
+            "no missing metros recovered for the Table 3 scenario AS"
+        );
+        for (metro, host) in &missing {
+            assert!(!igdb.metros_of_asn(world.scenarios.globetrans).contains(metro));
+            assert!(host.contains("globetrans"), "{host}");
+        }
+    }
+
+    #[test]
+    fn propagation_rounds_monotone_decreasing_eventually_stop() {
+        let (_, igdb) = built();
+        let report = propagate(
+            &igdb,
+            &BeliefPropParams {
+                max_iterations: 10,
+                ..Default::default()
+            },
+        );
+        // Rounds end with a zero (fixpoint) or hit the cap.
+        if report.located_per_round.len() < 10 {
+            assert_eq!(*report.located_per_round.last().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn stricter_threshold_locates_fewer() {
+        let (_, igdb) = built();
+        let loose = propagate(&igdb, &BeliefPropParams::default());
+        let strict = propagate(
+            &igdb,
+            &BeliefPropParams {
+                metro_threshold_ms: 0.2,
+                ..Default::default()
+            },
+        );
+        assert!(strict.assignments.len() <= loose.assignments.len());
+    }
+}

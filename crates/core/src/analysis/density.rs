@@ -1,0 +1,125 @@
+//! Figure 10 / appendix — geospatial distribution of physical nodes.
+//!
+//! "Of the 7,342 city cells in the Voronoi diagram, 3,130 cells have at
+//! least one physical node, with most city cells having fewer than 10
+//! nodes." This module counts `phys_nodes` per Thiessen cell and derives
+//! the CDF series the appendix plots.
+
+use igdb_db::{Aggregate, Query};
+
+use crate::build::Igdb;
+
+/// The density report.
+#[derive(Clone, Debug)]
+pub struct DensityReport {
+    /// Total Thiessen cells (= metros).
+    pub total_cells: usize,
+    /// Cells with at least one physical node.
+    pub occupied_cells: usize,
+    /// (metro_id, node count), descending by count.
+    pub per_cell: Vec<(usize, usize)>,
+    /// CDF over occupied cells: (node_count, fraction of occupied cells
+    /// with ≤ node_count nodes), ascending in node_count.
+    pub cdf: Vec<(usize, f64)>,
+    /// Fraction of occupied cells with fewer than 10 nodes.
+    pub under_ten_frac: f64,
+}
+
+/// Computes the Figure 10 density distribution.
+pub fn node_density(igdb: &Igdb) -> DensityReport {
+    let groups = igdb
+        .db
+        .with_table("phys_nodes", |t| {
+            Query::new(t).group_by(vec!["metro_id"], vec![Aggregate::Count])
+        })
+        .expect("phys_nodes exists")
+        .expect("group-by");
+    let mut per_cell: Vec<(usize, usize)> = groups
+        .into_iter()
+        .filter_map(|r| Some((r[0].as_int()? as usize, r[1].as_int()? as usize)))
+        .collect();
+    per_cell.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let occupied_cells = per_cell.len();
+    // CDF.
+    let mut counts: Vec<usize> = per_cell.iter().map(|&(_, n)| n).collect();
+    counts.sort_unstable();
+    let mut cdf = Vec::new();
+    let mut i = 0;
+    while i < counts.len() {
+        let v = counts[i];
+        while i < counts.len() && counts[i] == v {
+            i += 1;
+        }
+        cdf.push((v, i as f64 / counts.len() as f64));
+    }
+    let under_ten = counts.iter().filter(|&&n| n < 10).count();
+    DensityReport {
+        total_cells: igdb.metros.len(),
+        occupied_cells,
+        per_cell,
+        under_ten_frac: if occupied_cells == 0 {
+            0.0
+        } else {
+            under_ten as f64 / occupied_cells as f64
+        },
+        cdf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+    fn report() -> DensityReport {
+        let world = World::generate(WorldConfig::tiny());
+        let snaps = emit_snapshots(&world, "2022-05-03", 0);
+        node_density(&Igdb::build(&snaps))
+    }
+
+    #[test]
+    fn occupied_subset_of_total() {
+        let r = report();
+        assert!(r.occupied_cells > 0);
+        assert!(r.occupied_cells <= r.total_cells);
+        // The paper's shape: far from all cells hold nodes (3,130/7,342).
+        assert!(
+            r.occupied_cells * 10 < r.total_cells * 9,
+            "{}/{} cells occupied",
+            r.occupied_cells,
+            r.total_cells
+        );
+    }
+
+    #[test]
+    fn cdf_monotone_and_terminates_at_one() {
+        let r = report();
+        assert!(!r.cdf.is_empty());
+        for w in r.cdf.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((r.cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_cells_hold_few_nodes() {
+        let r = report();
+        // Paper: "most city cells having fewer than 10 nodes".
+        assert!(
+            r.under_ten_frac > 0.5,
+            "only {} of occupied cells under 10 nodes",
+            r.under_ten_frac
+        );
+    }
+
+    #[test]
+    fn per_cell_descending_and_consistent_with_cdf() {
+        let r = report();
+        for w in r.per_cell.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let total_from_cells: usize = r.per_cell.iter().map(|&(_, n)| n).sum();
+        assert!(total_from_cells > 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The paper's use cases (§4) as library functions, one module per
+//! experiment family:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`footprint`] | §4.1, Table 2, Figure 6 |
+//! | [`physpath`] | §4.2, Figure 7 |
+//! | [`rocketfuel`] | §4.3, Figure 8 |
+//! | [`beliefprop`] | §4.4, Table 3 |
+//! | [`fusion`] | §4.5, Figures 1 & 9 |
+//! | [`intertubes`] | §3.1, Figure 4 |
+//! | [`density`] | Appendix, Figure 10 |
+//! | [`export`] | Figure 5 |
+//! | [`cbg`] | §4.5's latency geolocation fallback (CBG multilateration) |
+//! | [`risk`] | §4.2's RiskRoute-style disaster exposure + reroute cost |
+
+pub mod beliefprop;
+pub mod cbg;
+pub mod density;
+pub mod export;
+pub mod footprint;
+pub mod fusion;
+pub mod intertubes;
+pub mod physpath;
+pub mod risk;
+pub mod rocketfuel;

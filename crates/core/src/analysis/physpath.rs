@@ -1,0 +1,349 @@
+//! §4.2 — Generating physical paths from logical measurements (Figure 7).
+//!
+//! Given a traceroute's addresses, iGDB (1) geolocates the hops, (2) maps
+//! consecutive metro pairs onto inferred physical paths, (3) hunts for
+//! *hidden intermediate nodes* (MPLS) by buffering each physical route and
+//! spatially joining AS peering locations into the corridor, and (4)
+//! compares the inferred route against the *shortest practical physical
+//! path* — the geographically shortest route along inferred physical
+//! infrastructure — yielding the **distance cost** (paper example: 2,518 km
+//! ÷ 1,282 km = 1.96).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use igdb_geo::GeoPoint;
+use igdb_net::{Asn, Ip4};
+
+use crate::build::Igdb;
+
+/// The metro-level graph of inferred physical paths (`phys_conn`).
+pub struct PhysGraph {
+    n: usize,
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+impl PhysGraph {
+    /// Builds the graph from the database's distinct physical path pairs.
+    pub fn from_igdb(igdb: &Igdb) -> Self {
+        Self::from_pairs(igdb.metros.len(), &igdb.phys_pairs)
+    }
+
+    /// Builds the graph from explicit `(from, to, km)` pairs (used by the
+    /// risk analysis to model infrastructure failures).
+    pub fn from_pairs(n_metros: usize, pairs: &[(usize, usize, f64)]) -> Self {
+        let n = n_metros;
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b, km) in pairs {
+            adj[a].push((b, km));
+            adj[b].push((a, km));
+        }
+        Self { n, adj }
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Shortest path along inferred physical infrastructure:
+    /// `(metro sequence, km)`.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<(Vec<usize>, f64)> {
+        if from >= self.n || to >= self.n {
+            return None;
+        }
+        if from == to {
+            return Some((vec![from], 0.0));
+        }
+        let mut dist = vec![f64::INFINITY; self.n];
+        let mut prev = vec![usize::MAX; self.n];
+        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push((Reverse(0u64), from));
+        while let Some((Reverse(dbits), u)) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > dist[u] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for &(v, w) in &self.adj[u] {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push((Reverse(nd.to_bits()), v));
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some((path, dist[to]))
+    }
+}
+
+/// One leg of the inferred physical route (between two observed metros).
+#[derive(Clone, Debug)]
+pub struct InferredLeg {
+    pub from_metro: usize,
+    pub to_metro: usize,
+    /// Metro sequence along inferred physical paths (may pass through
+    /// intermediate metros).
+    pub via: Vec<usize>,
+    pub km: f64,
+    /// Candidate hidden intermediate metros: inside the corridor, hosting
+    /// a peering location of one of the leg's ASes, with physical links.
+    pub hidden_candidates: Vec<usize>,
+}
+
+/// The full §4.2 analysis result.
+#[derive(Clone, Debug)]
+pub struct PhysicalPathReport {
+    /// Metro sequence as observed at the IP layer (consecutive dupes
+    /// collapsed).
+    pub observed_metros: Vec<usize>,
+    pub legs: Vec<InferredLeg>,
+    /// Total length of the inferred physical route, km.
+    pub inferred_km: f64,
+    /// The shortest practical physical path between the endpoints.
+    pub practical_path: Vec<usize>,
+    pub practical_km: f64,
+    /// `inferred_km / practical_km` (1.0 = geographically optimal).
+    pub distance_cost: f64,
+}
+
+/// Corridor half-width for hidden-node search, km (a metro-scale buffer).
+pub const HIDDEN_NODE_BUFFER_KM: f64 = 60.0;
+
+/// Runs the Figure 7 analysis over a traceroute's responding addresses.
+/// Returns `None` when fewer than two hops geolocate or the endpoints are
+/// not connected by inferred physical paths.
+pub fn physical_path_report(igdb: &Igdb, hop_ips: &[Ip4]) -> Option<PhysicalPathReport> {
+    let graph = PhysGraph::from_igdb(igdb);
+    physical_path_report_with(igdb, &graph, hop_ips)
+}
+
+/// Same as [`physical_path_report`] but reusing a prebuilt [`PhysGraph`]
+/// (benches run thousands of reports).
+pub fn physical_path_report_with(
+    igdb: &Igdb,
+    graph: &PhysGraph,
+    hop_ips: &[Ip4],
+) -> Option<PhysicalPathReport> {
+    // 1. Geolocate hops, collapsing consecutive same-metro runs; remember
+    //    the ASes active around each leg.
+    let mut observed: Vec<usize> = Vec::new();
+    let mut leg_asns: Vec<Vec<Asn>> = Vec::new();
+    let mut current_asns: Vec<Asn> = Vec::new();
+    for &ip in hop_ips {
+        let info = igdb.ip_info.get(&ip);
+        if let Some(asn) = info.and_then(|i| i.asn) {
+            if !current_asns.contains(&asn) {
+                current_asns.push(asn);
+            }
+        }
+        if let Some(m) = info.and_then(|i| i.metro) {
+            if observed.last() != Some(&m) {
+                if !observed.is_empty() {
+                    leg_asns.push(std::mem::take(&mut current_asns));
+                }
+                observed.push(m);
+            }
+        }
+    }
+    if observed.len() < 2 {
+        return None;
+    }
+    while leg_asns.len() < observed.len() - 1 {
+        leg_asns.push(current_asns.clone());
+    }
+
+    // 2. Map each leg onto inferred physical paths.
+    let mut legs = Vec::new();
+    let mut inferred_km = 0.0;
+    for (w, asns) in observed.windows(2).zip(&leg_asns) {
+        let (a, b) = (w[0], w[1]);
+        let (via, km) = graph.shortest_path(a, b)?;
+        // 3. Hidden-node inference: corridor buffer + spatial join against
+        //    the leg ASes' peering locations, restricted to metros with
+        //    physical links (paper: "a physical peering location inside
+        //    the buffer that also has a physical link in iGDB").
+        let corridor = leg_corridor_geometry(igdb, &via);
+        let mut hidden: Vec<usize> = Vec::new();
+        for &asn in asns {
+            for m in igdb.metros_of_asn(asn) {
+                // Skip metros already visible at the IP layer; what's left
+                // inside the corridor is a candidate hidden node.
+                if m == a || m == b || observed.contains(&m) || hidden.contains(&m) {
+                    continue;
+                }
+                let has_phys_link = !igdb_phys_degree_zero(graph, m);
+                if !has_phys_link {
+                    continue;
+                }
+                let loc = igdb.metros.metro(m).loc;
+                if igdb_geo::point_polyline_distance_km(&loc, &corridor)
+                    <= HIDDEN_NODE_BUFFER_KM
+                {
+                    hidden.push(m);
+                }
+            }
+        }
+        hidden.sort_unstable();
+        inferred_km += km;
+        legs.push(InferredLeg {
+            from_metro: a,
+            to_metro: b,
+            via,
+            km,
+            hidden_candidates: hidden,
+        });
+    }
+
+    // 4. Shortest practical physical path between endpoints.
+    let (practical_path, practical_km) =
+        graph.shortest_path(*observed.first().unwrap(), *observed.last().unwrap())?;
+    let distance_cost = if practical_km > 0.0 {
+        inferred_km / practical_km
+    } else {
+        1.0
+    };
+    Some(PhysicalPathReport {
+        observed_metros: observed,
+        legs,
+        inferred_km,
+        practical_path,
+        practical_km,
+        distance_cost,
+    })
+}
+
+/// The leg's route geometry: the concatenated metro-centre polyline (the
+/// corridor axis for the buffer test).
+fn leg_corridor_geometry(igdb: &Igdb, via: &[usize]) -> Vec<GeoPoint> {
+    via.iter().map(|&m| igdb.metros.metro(m).loc).collect()
+}
+
+fn igdb_phys_degree_zero(graph: &PhysGraph, metro: usize) -> bool {
+    graph.adj.get(metro).map(|v| v.is_empty()).unwrap_or(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+    fn built() -> (World, Igdb) {
+        let world = World::generate(WorldConfig::tiny());
+        let snaps = emit_snapshots(&world, "2022-05-03", 400);
+        (world, Igdb::build(&snaps))
+    }
+
+    fn fig7_trace(world: &World) -> Vec<Ip4> {
+        world
+            .traceroute_between(world.scenarios.anchor_kansas_city, world.scenarios.anchor_atlanta)
+            .expect("scenario traceroute")
+            .responding_ips()
+    }
+
+    #[test]
+    fn phys_graph_connects_scenario_corridors() {
+        let (_, igdb) = built();
+        let g = PhysGraph::from_igdb(&igdb);
+        assert!(g.edge_count() > 40);
+        let kc = igdb.metros.by_name("Kansas City").unwrap();
+        let atl = igdb.metros.by_name("Atlanta").unwrap();
+        let (path, km) = g.shortest_path(kc, atl).expect("KC–Atlanta physically connected");
+        assert!(path.len() >= 3);
+        assert!(km > 900.0 && km < 2500.0, "practical km {km}");
+    }
+
+    #[test]
+    fn fig7_report_shape() {
+        let (world, igdb) = built();
+        let report = physical_path_report(&igdb, &fig7_trace(&world)).expect("report");
+        // Observed at the IP layer: KC … Dallas, Houston … Atlanta, never
+        // Tulsa/OKC (MPLS-hidden).
+        let names: Vec<&str> = report
+            .observed_metros
+            .iter()
+            .map(|&m| igdb.metros.metro(m).name.as_str())
+            .collect();
+        assert!(names.contains(&"Dallas"), "{names:?}");
+        assert!(names.contains(&"Houston"), "{names:?}");
+        assert!(!names.contains(&"Tulsa") && !names.contains(&"Oklahoma City"), "{names:?}");
+        assert_eq!(names.first(), Some(&"Kansas City"));
+        assert_eq!(names.last(), Some(&"Atlanta"));
+    }
+
+    #[test]
+    fn fig7_hidden_node_recovered() {
+        let (world, igdb) = built();
+        let report = physical_path_report(&igdb, &fig7_trace(&world)).expect("report");
+        // The KC→Dallas leg's physical route passes Tulsa or OKC; the
+        // hidden-candidate join must surface at least one of them.
+        let mut all_hidden: Vec<&str> = report
+            .legs
+            .iter()
+            .flat_map(|l| l.hidden_candidates.iter())
+            .map(|&m| igdb.metros.metro(m).name.as_str())
+            .collect();
+        all_hidden.sort_unstable();
+        assert!(
+            all_hidden.contains(&"Tulsa") || all_hidden.contains(&"Oklahoma City"),
+            "hidden candidates: {all_hidden:?}"
+        );
+    }
+
+    #[test]
+    fn fig7_distance_cost_in_paper_band() {
+        let (world, igdb) = built();
+        let report = physical_path_report(&igdb, &fig7_trace(&world)).expect("report");
+        // The paper's example: 2518/1282 = 1.96. Our synthetic corridors
+        // reproduce the shape: a clear detour, cost well above 1.
+        assert!(
+            report.distance_cost > 1.2 && report.distance_cost < 3.0,
+            "distance cost {}",
+            report.distance_cost
+        );
+        assert!(report.inferred_km > report.practical_km);
+        // The practical path should use the inland corridor (St Louis or
+        // Nashville).
+        let names: Vec<&str> = report
+            .practical_path
+            .iter()
+            .map(|&m| igdb.metros.metro(m).name.as_str())
+            .collect();
+        assert!(
+            names.contains(&"St Louis") || names.contains(&"Nashville"),
+            "practical path {names:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_traces_return_none() {
+        let (_, igdb) = built();
+        assert!(physical_path_report(&igdb, &[]).is_none());
+        // A single resolvable hop can't form a leg.
+        let one = igdb.ip_info.keys().next().copied().unwrap();
+        assert!(physical_path_report(&igdb, &[one]).is_none());
+    }
+
+    #[test]
+    fn same_metro_endpoints_cost_one() {
+        let (_, igdb) = built();
+        let g = PhysGraph::from_igdb(&igdb);
+        let kc = igdb.metros.by_name("Kansas City").unwrap();
+        let (p, km) = g.shortest_path(kc, kc).unwrap();
+        assert_eq!(p, vec![kc]);
+        assert_eq!(km, 0.0);
+    }
+}

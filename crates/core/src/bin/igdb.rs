@@ -1,0 +1,332 @@
+//! `igdb` — the command-line face of the toolkit.
+//!
+//! The paper ships iGDB as "a system designed to automate the process of
+//! collecting Internet topology and measurement data from public sources,
+//! organize the collected data into a database, and enable visualization
+//! and analysis". This binary covers that loop:
+//!
+//! ```text
+//! igdb build --scale medium --out ./igdb-db        # collect + load + save
+//! igdb tables --db ./igdb-db                       # inventory
+//! igdb query  --db ./igdb-db --table asn_loc --where asn=64174 --limit 10
+//! igdb metro  --db ./igdb-db --lon -94.58 --lat 39.1   # spatial join
+//! igdb export --db ./igdb-db --out map.geojson     # the Figure 5 layers
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use igdb_core::Igdb;
+use igdb_db::{Database, Predicate, Query, Value};
+use igdb_geo::{GeoPoint, NearestSiteIndex};
+use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd {
+        "build" => cmd_build(&args[1..]),
+        "tables" => cmd_tables(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "metro" => cmd_metro(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("igdb: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: igdb <command> [options]
+
+commands:
+  build   --out DIR [--scale tiny|medium] [--date YYYY-MM-DD] [--mesh N]
+          generate source snapshots, run the pipeline, save the database
+  tables  --db DIR
+          list relations and row counts
+  query   --db DIR --table NAME [--where col=value ...] [--select a,b,c]
+          [--limit N] [--order col[:desc]]
+  metro   --db DIR --lon X --lat Y
+          standardize a coordinate (Thiessen spatial join)
+  export  --db DIR --out FILE.geojson
+          export the physical map layers (Figure 5)";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flags(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn require(args: &[String], name: &str) -> Result<String, String> {
+    flag(args, name).ok_or_else(|| format!("missing required option {name}"))
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(require(args, "--out")?);
+    let scale = flag(args, "--scale").unwrap_or_else(|| "tiny".into());
+    let date = flag(args, "--date").unwrap_or_else(|| "2022-05-03".into());
+    let mesh: usize = flag(args, "--mesh")
+        .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
+        .transpose()?
+        .unwrap_or(500);
+    let config = match scale.as_str() {
+        "tiny" => WorldConfig::tiny(),
+        "medium" => WorldConfig::medium(),
+        other => return Err(format!("unknown --scale '{other}' (tiny|medium)")),
+    };
+    eprintln!("generating world ({scale})…");
+    let world = World::generate(config);
+    eprintln!("emitting snapshots for {date}…");
+    let snaps = emit_snapshots(&world, &date, mesh);
+    eprintln!("building database…");
+    let igdb = Igdb::build(&snaps);
+    igdb.db.save_dir(&out).map_err(|e| e.to_string())?;
+    eprintln!("saved {} relations to {}", igdb.db.table_names().len(), out.display());
+    Ok(())
+}
+
+fn open_db(args: &[String]) -> Result<Database, String> {
+    let dir = require(args, "--db")?;
+    Database::load_dir(Path::new(&dir)).map_err(|e| format!("cannot open {dir}: {e}"))
+}
+
+fn cmd_tables(args: &[String]) -> Result<(), String> {
+    let db = open_db(args)?;
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for name in db.table_names() {
+        // Ignore broken pipes (e.g. `igdb tables | head`).
+        if writeln!(out, "{name:<16} {:>8} rows", db.row_count(&name).unwrap_or(0)).is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Parses `col=value` into a typed equality predicate against the table's
+/// schema.
+fn parse_where(db: &Database, table: &str, clause: &str) -> Result<Predicate, String> {
+    let (col, raw) = clause
+        .split_once('=')
+        .ok_or_else(|| format!("--where wants col=value, got '{clause}'"))?;
+    let value = db
+        .with_table(table, |t| -> Result<Value, String> {
+            let idx = t
+                .schema()
+                .index_of(col)
+                .map_err(|e| e.to_string())?;
+            let ty = t.schema().columns()[idx].ty;
+            Ok(match ty {
+                igdb_db::ColumnType::Int => {
+                    Value::Int(raw.parse::<i64>().map_err(|e| format!("bad int: {e}"))?)
+                }
+                igdb_db::ColumnType::Float => {
+                    Value::Float(raw.parse::<f64>().map_err(|e| format!("bad float: {e}"))?)
+                }
+                igdb_db::ColumnType::Bool => {
+                    Value::Bool(raw.parse::<bool>().map_err(|e| format!("bad bool: {e}"))?)
+                }
+                _ => Value::text(raw),
+            })
+        })
+        .map_err(|e| e.to_string())??;
+    Ok(Predicate::Eq(col.to_string(), value))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let db = open_db(args)?;
+    let table = require(args, "--table")?;
+    if !db.has_table(&table) {
+        return Err(format!("no such table '{table}'"));
+    }
+    let mut predicate = Predicate::True;
+    for clause in flags(args, "--where") {
+        predicate = predicate.and(parse_where(&db, &table, &clause)?);
+    }
+    let limit: usize = flag(args, "--limit")
+        .map(|l| l.parse().map_err(|e| format!("bad --limit: {e}")))
+        .transpose()?
+        .unwrap_or(25);
+    let select: Option<Vec<String>> =
+        flag(args, "--select").map(|s| s.split(',').map(str::to_string).collect());
+    let order = flag(args, "--order");
+
+    db.with_table(&table, |t| -> Result<(), String> {
+        let mut q = Query::new(t).filter(predicate.clone()).limit(limit);
+        if let Some(o) = &order {
+            // "--order col" ascends; "--order col:desc" descends.
+            let (col, asc) = match o.split_once(':') {
+                Some((c, dir)) => (c.to_string(), dir != "desc"),
+                None => (o.clone(), true),
+            };
+            q = q.order_by(col, asc);
+        }
+        let names: Vec<String> = match &select {
+            Some(cols) => {
+                q = q.select(cols.iter().map(String::as_str).collect());
+                cols.clone()
+            }
+            None => t
+                .schema()
+                .columns()
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        };
+        println!("{}", names.join("\t"));
+        for row in q.rows().map_err(|e| e.to_string())? {
+            let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            println!("{}", rendered.join("\t"));
+        }
+        Ok(())
+    })
+    .map_err(|e| e.to_string())?
+}
+
+fn cmd_metro(args: &[String]) -> Result<(), String> {
+    let db = open_db(args)?;
+    let lon: f64 = require(args, "--lon")?
+        .parse()
+        .map_err(|e| format!("bad --lon: {e}"))?;
+    let lat: f64 = require(args, "--lat")?
+        .parse()
+        .map_err(|e| format!("bad --lat: {e}"))?;
+    // Rebuild the nearest-site index from city_points.
+    let (sites, labels): (Vec<GeoPoint>, Vec<String>) = db
+        .with_table("city_points", |t| {
+            let mut sites = Vec::new();
+            let mut labels = Vec::new();
+            for (_, row) in t.iter() {
+                let lat = row[4].as_float().unwrap_or(0.0);
+                let lon = row[5].as_float().unwrap_or(0.0);
+                sites.push(GeoPoint::new(lon, lat));
+                let city = row[1].as_text().unwrap_or("");
+                let state = row[2].as_text().unwrap_or("");
+                let cc = row[3].as_text().unwrap_or("");
+                labels.push(if state.is_empty() {
+                    format!("{city}-{cc}")
+                } else {
+                    format!("{city}-{state}-{cc}")
+                });
+            }
+            (sites, labels)
+        })
+        .map_err(|e| e.to_string())?;
+    let index = NearestSiteIndex::new(sites);
+    match index.nearest(&GeoPoint::new(lon, lat)) {
+        Some((id, km)) => {
+            println!("{} ({km:.1} km from the city point)", labels[id]);
+            Ok(())
+        }
+        None => Err("database has no city points".into()),
+    }
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let db = open_db(args)?;
+    let out = PathBuf::from(require(args, "--out")?);
+    // Re-extract the three layers straight from the relations (same logic
+    // as analysis::export, but over a loaded database).
+    let mut features: Vec<String> = Vec::new();
+    let mut push_geoms = |table: &str, col: usize, layer: &str| -> Result<usize, String> {
+        db.with_table(table, |t| {
+            let mut n = 0;
+            for (_, row) in t.iter() {
+                if let Some(wkt) = row[col].as_text() {
+                    if let Ok(geom) = igdb_geo::parse_wkt(wkt) {
+                        features.push(feature_json(layer, &geom));
+                        n += 1;
+                    }
+                }
+            }
+            n
+        })
+        .map_err(|e| e.to_string())
+    };
+    let paths = push_geoms("phys_conn", 7, "row_paths")?;
+    let cables = push_geoms("sub_cables", 4, "cables")?;
+    let nodes = db
+        .with_table("phys_nodes", |t| {
+            let mut n = 0;
+            for (_, row) in t.iter() {
+                if let (Some(lat), Some(lon)) = (row[6].as_float(), row[7].as_float()) {
+                    features.push(feature_json(
+                        "nodes",
+                        &igdb_geo::Geometry::Point(GeoPoint::new(lon, lat)),
+                    ));
+                    n += 1;
+                }
+            }
+            n
+        })
+        .map_err(|e| e.to_string())?;
+    let doc = format!(
+        "{{\"type\":\"FeatureCollection\",\"features\":[{}]}}",
+        features.join(",")
+    );
+    std::fs::write(&out, doc).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({nodes} nodes, {paths} paths, {cables} cables)",
+        out.display()
+    );
+    Ok(())
+}
+
+fn feature_json(layer: &str, geom: &igdb_geo::Geometry) -> String {
+    use igdb_geo::Geometry as G;
+    let coords = |p: &GeoPoint| format!("[{},{}]", p.lon, p.lat);
+    let geometry = match geom {
+        G::Point(p) => format!("{{\"type\":\"Point\",\"coordinates\":{}}}", coords(p)),
+        G::LineString(ls) => format!(
+            "{{\"type\":\"LineString\",\"coordinates\":[{}]}}",
+            ls.0.iter().map(|p| coords(p)).collect::<Vec<_>>().join(",")
+        ),
+        G::MultiLineString(mls) => format!(
+            "{{\"type\":\"MultiLineString\",\"coordinates\":[{}]}}",
+            mls.0
+                .iter()
+                .map(|ls| format!(
+                    "[{}]",
+                    ls.0.iter().map(|p| coords(p)).collect::<Vec<_>>().join(",")
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        other => {
+            let wkt = igdb_geo::to_wkt(other);
+            format!("{{\"type\":\"GeometryCollection\",\"note\":{wkt:?},\"geometries\":[]}}")
+        }
+    };
+    format!(
+        "{{\"type\":\"Feature\",\"properties\":{{\"layer\":\"{layer}\"}},\"geometry\":{geometry}}}"
+    )
+}

@@ -1,0 +1,208 @@
+//! Hostname geolocation: the Hoiho rule engine.
+//!
+//! Paper §4.2: "ISPs often encode geohints within the hostname assigned to
+//! IP addresses … The Hoiho hostname-to-location geohints are available for
+//! use in the form of a set of downloadable regular expressions … we
+//! determine the city-country code from the hostnames by leveraging these
+//! existing regexes … rather than learning and developing our own
+//! hostname-location pairings."
+//!
+//! The engine compiles the rule file with `igdb-regex` and resolves the
+//! captured token either through the public geocode dictionary (IATA-style
+//! 3-letter codes) or by city-name slug comparison against the standard
+//! metros.
+
+use std::collections::HashMap;
+
+use igdb_regex::Regex;
+use igdb_synth::naming::{HoihoRule, TokenKind};
+
+use crate::metros::MetroRegistry;
+
+/// A compiled rule.
+struct CompiledRule {
+    regex: Regex,
+    token_kind: TokenKind,
+}
+
+/// The rule engine: hostname in, standard metro out.
+pub struct HoihoEngine {
+    rules: Vec<CompiledRule>,
+    /// geocode → metro id (the public dictionary).
+    codes: HashMap<String, usize>,
+    /// city-name slug → metro id.
+    slugs: HashMap<String, usize>,
+}
+
+impl HoihoEngine {
+    /// Compiles the rule file. Rules whose regex fails to compile are
+    /// skipped (and counted) rather than aborting the build — a malformed
+    /// rule in a community-maintained file must not poison the pipeline.
+    pub fn build(
+        rules: &[HoihoRule],
+        geo_codes: &[(String, usize)],
+        metros: &MetroRegistry,
+    ) -> (Self, usize) {
+        let mut compiled = Vec::with_capacity(rules.len());
+        let mut skipped = 0;
+        for r in rules {
+            match Regex::new(&r.pattern) {
+                Ok(regex) => compiled.push(CompiledRule {
+                    regex,
+                    token_kind: r.token_kind,
+                }),
+                Err(_) => skipped += 1,
+            }
+        }
+        let codes = geo_codes.iter().cloned().collect();
+        let slugs = metros
+            .metros()
+            .iter()
+            .map(|m| (slugify(&m.name), m.id))
+            .collect();
+        (
+            Self {
+                rules: compiled,
+                codes,
+                slugs,
+            },
+            skipped,
+        )
+    }
+
+    /// Number of usable rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Geolocates a hostname: the standard metro its geohint names, if any
+    /// rule matches and its token resolves.
+    pub fn geolocate(&self, hostname: &str) -> Option<usize> {
+        let host = hostname.to_ascii_lowercase();
+        for rule in &self.rules {
+            let Some(caps) = rule.regex.captures(&host) else {
+                continue;
+            };
+            let Some(token) = caps.group(1) else {
+                continue;
+            };
+            let hit = match rule.token_kind {
+                TokenKind::GeoCode => self.codes.get(token).copied(),
+                TokenKind::CitySlug => self.slugs.get(token).copied(),
+            };
+            if hit.is_some() {
+                return hit;
+            }
+        }
+        None
+    }
+}
+
+/// Lowercase dash-slug, matching the convention of CityName hostnames.
+pub fn slugify(name: &str) -> String {
+    name.split_whitespace()
+        .map(|w| w.to_ascii_lowercase())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igdb_geo::GeoPoint;
+    use igdb_synth::sources::NaturalEarthPlace;
+
+    fn registry() -> MetroRegistry {
+        let places: Vec<NaturalEarthPlace> = [
+            ("Dresden", "DE", 13.738, 51.051),
+            ("Kansas City", "US", -94.579, 39.100),
+            ("Hong Kong", "HK", 114.169, 22.319),
+        ]
+        .into_iter()
+        .map(|(n, c, lon, lat)| NaturalEarthPlace {
+            name: n.to_string(),
+            state: String::new(),
+            country: c.to_string(),
+            loc: GeoPoint::new(lon, lat),
+            population: 1000,
+        })
+        .collect();
+        MetroRegistry::build(&places)
+    }
+
+    fn rules() -> Vec<HoihoRule> {
+        vec![
+            HoihoRule {
+                pattern: r"\.rcr\d+\.([a-z]{3})\d{2}\.atlas\.example\.com$".to_string(),
+                token_kind: TokenKind::GeoCode,
+                domain: "example.com".to_string(),
+            },
+            HoihoRule {
+                pattern: r"^xe-\d+\.([a-z0-9-]+)\.citystyle\.net$".to_string(),
+                token_kind: TokenKind::CitySlug,
+                domain: "citystyle.net".to_string(),
+            },
+        ]
+    }
+
+    fn codes() -> Vec<(String, usize)> {
+        vec![("drs".to_string(), 0), ("kcy".to_string(), 1), ("hkg".to_string(), 2)]
+    }
+
+    #[test]
+    fn geocode_rule_resolves() {
+        let reg = registry();
+        let (engine, skipped) = HoihoEngine::build(&rules(), &codes(), &reg);
+        assert_eq!(skipped, 0);
+        assert_eq!(engine.rule_count(), 2);
+        assert_eq!(
+            engine.geolocate("be2695.rcr21.drs01.atlas.example.com"),
+            Some(0)
+        );
+        assert_eq!(
+            engine.geolocate("be3701.rcr11.hkg02.atlas.example.com"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn slug_rule_resolves() {
+        let reg = registry();
+        let (engine, _) = HoihoEngine::build(&rules(), &codes(), &reg);
+        assert_eq!(engine.geolocate("xe-3.kansas-city.citystyle.net"), Some(1));
+        assert_eq!(engine.geolocate("xe-3.hong-kong.citystyle.net"), Some(2));
+    }
+
+    #[test]
+    fn unknown_token_or_no_match_is_none() {
+        let reg = registry();
+        let (engine, _) = HoihoEngine::build(&rules(), &codes(), &reg);
+        assert_eq!(engine.geolocate("be1.rcr2.zzz01.atlas.example.com"), None);
+        assert_eq!(engine.geolocate("ip-10-1-2-3.opaque.net"), None);
+        assert_eq!(engine.geolocate("xe-1.atlantis.citystyle.net"), None);
+    }
+
+    #[test]
+    fn hostname_case_insensitive() {
+        let reg = registry();
+        let (engine, _) = HoihoEngine::build(&rules(), &codes(), &reg);
+        assert_eq!(
+            engine.geolocate("BE2695.RCR21.DRS01.ATLAS.EXAMPLE.COM"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn malformed_rule_skipped_not_fatal() {
+        let reg = registry();
+        let mut rs = rules();
+        rs.push(HoihoRule {
+            pattern: "(((".to_string(),
+            token_kind: TokenKind::GeoCode,
+            domain: "broken.example".to_string(),
+        });
+        let (engine, skipped) = HoihoEngine::build(&rs, &codes(), &reg);
+        assert_eq!(skipped, 1);
+        assert_eq!(engine.rule_count(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! The transportation right-of-way graph iGDB routes fiber paths along.
+//!
+//! Paper §3.1: "We use information on existing road networks to generate an
+//! approximation of the physical path the fiber optic cable connecting the
+//! two nodes follows. This is accomplished by determining the shortest
+//! route connecting city pairs along the right-of-way network." The road
+//! dataset arrives as [`RoadSegment`] records (a public GIS layer);
+//! endpoints are metro ids.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use igdb_geo::GeoPoint;
+use igdb_synth::sources::RoadSegment;
+
+/// One loaded road edge.
+#[derive(Clone, Debug)]
+pub struct RoadEdge {
+    pub a: usize,
+    pub b: usize,
+    pub length_km: f64,
+    pub path: Vec<GeoPoint>,
+}
+
+/// The right-of-way graph over the standard metros.
+pub struct RoadGraph {
+    edges: Vec<RoadEdge>,
+    adj: Vec<Vec<(usize, usize)>>,
+}
+
+impl RoadGraph {
+    /// Loads the road dataset. `n_metros` sizes the adjacency table;
+    /// segments referencing out-of-range metros are rejected.
+    pub fn build(n_metros: usize, segments: &[RoadSegment]) -> Self {
+        let mut edges = Vec::with_capacity(segments.len());
+        let mut adj = vec![Vec::new(); n_metros];
+        for s in segments {
+            assert!(
+                s.a < n_metros && s.b < n_metros,
+                "road segment references unknown metro ({}, {})",
+                s.a,
+                s.b
+            );
+            let idx = edges.len();
+            edges.push(RoadEdge {
+                a: s.a,
+                b: s.b,
+                length_km: s.length_km,
+                path: s.path.clone(),
+            });
+            adj[s.a].push((s.b, idx));
+            adj[s.b].push((s.a, idx));
+        }
+        Self { edges, adj }
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn metro_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Shortest road route between two metros: `(metro sequence, km)`.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<(Vec<usize>, f64)> {
+        if from >= self.adj.len() || to >= self.adj.len() {
+            return None;
+        }
+        if from == to {
+            return Some((vec![from], 0.0));
+        }
+        let n = self.adj.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+        dist[from] = 0.0;
+        heap.push((Reverse(0), from));
+        while let Some((Reverse(dbits), u)) = heap.pop() {
+            let d = f64::from_bits(dbits);
+            if d > dist[u] {
+                continue;
+            }
+            if u == to {
+                break;
+            }
+            for &(v, e) in &self.adj[u] {
+                let nd = d + self.edges[e].length_km;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = u;
+                    heap.push((Reverse(nd.to_bits()), v));
+                }
+            }
+        }
+        if dist[to].is_infinite() {
+            return None;
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Some((path, dist[to]))
+    }
+
+    /// The concatenated road geometry along a metro sequence. Returns
+    /// `None` if consecutive metros are not road-adjacent.
+    pub fn path_geometry(&self, metro_path: &[usize]) -> Option<Vec<GeoPoint>> {
+        let mut out: Vec<GeoPoint> = Vec::new();
+        for w in metro_path.windows(2) {
+            let (u, v) = (w[0], w[1]);
+            let &(_, e) = self.adj.get(u)?.iter().find(|(nb, _)| *nb == v)?;
+            let edge = &self.edges[e];
+            let mut seg = edge.path.clone();
+            if edge.a != u {
+                seg.reverse();
+            }
+            if !out.is_empty() {
+                seg.remove(0);
+            }
+            out.extend(seg);
+        }
+        Some(out)
+    }
+
+    /// Shortest road route with its full geometry.
+    pub fn route_with_geometry(
+        &self,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64, Vec<GeoPoint>)> {
+        let (path, km) = self.shortest_path(from, to)?;
+        let geom = self.path_geometry(&path)?;
+        Some((path, km, geom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(a: usize, b: usize, km: f64) -> RoadSegment {
+        RoadSegment {
+            a,
+            b,
+            length_km: km,
+            path: vec![
+                GeoPoint::new(a as f64, 0.0),
+                GeoPoint::new(b as f64, 0.0),
+            ],
+        }
+    }
+
+    /// 0—1—2—3 chain plus a long 0—3 shortcut that is NOT shorter.
+    fn graph() -> RoadGraph {
+        RoadGraph::build(
+            5,
+            &[seg(0, 1, 10.0), seg(1, 2, 10.0), seg(2, 3, 10.0), seg(0, 3, 50.0)],
+        )
+    }
+
+    #[test]
+    fn shortest_prefers_chain_over_long_edge() {
+        let g = graph();
+        let (path, km) = g.shortest_path(0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert!((km - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_metro_unreachable() {
+        let g = graph();
+        assert!(g.shortest_path(0, 4).is_none());
+        assert!(g.shortest_path(4, 4).is_some());
+    }
+
+    #[test]
+    fn geometry_concatenation_dedupes_junctions() {
+        let g = graph();
+        let (path, _, geom) = g.route_with_geometry(0, 2).unwrap();
+        assert_eq!(path, vec![0, 1, 2]);
+        // Two 2-point segments sharing one junction → 3 points.
+        assert_eq!(geom.len(), 3);
+    }
+
+    #[test]
+    fn geometry_respects_edge_direction() {
+        let g = graph();
+        let geom = g.path_geometry(&[2, 1, 0]).unwrap();
+        assert_eq!(geom[0], GeoPoint::new(2.0, 0.0));
+        assert_eq!(geom[2], GeoPoint::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn geometry_of_nonadjacent_pair_is_none() {
+        let g = graph();
+        assert!(g.path_geometry(&[0, 2]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metro")]
+    fn out_of_range_segment_panics() {
+        RoadGraph::build(2, &[seg(0, 5, 1.0)]);
+    }
+}

@@ -1,0 +1,256 @@
+//! The iGDB relational schema (paper Figure 2).
+//!
+//! Physical layer: `city_points`, `city_polygons`, `phys_nodes`,
+//! `phys_conn` (standard right-of-way paths), `land_points`, `sub_cables`,
+//! `asn_loc`. Logical layer: `asn_name`, `asn_org`, `asn_conn`,
+//! `ip_asn_dns`, `ixp_prefixes`, `probes`, `traceroutes`. Every relation
+//! carries `source` and `as_of_date` (paper §3: "iGDB includes an
+//! as-of-date as an attribute for all collected data").
+
+use igdb_db::{ColumnDef as C, ColumnType as T, Schema};
+
+/// `city_points`: the standard urban areas.
+pub fn city_points() -> Schema {
+    Schema::new(vec![
+        C::new("metro_id", T::Int),
+        C::new("city", T::Text),
+        C::new("state_province", T::Text),
+        C::new("country", T::Text),
+        C::new("latitude", T::Float),
+        C::new("longitude", T::Float),
+        C::new("population", T::Int),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `city_polygons`: the Thiessen cell of each urban area, as WKT.
+pub fn city_polygons() -> Schema {
+    Schema::new(vec![
+        C::new("metro_id", T::Int),
+        C::new("city", T::Text),
+        C::new("state_province", T::Text),
+        C::new("country", T::Text),
+        C::new("geom", T::Geometry),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `phys_nodes`: PoPs, IXP facilities, colocation centres.
+pub fn phys_nodes() -> Schema {
+    Schema::new(vec![
+        C::new("node_name", T::Text),
+        C::new("organization", T::Text),
+        C::new("raw_city_label", T::Text),
+        C::new("metro_id", T::Int),
+        C::new("metro", T::Text),
+        C::new("country", T::Text),
+        C::new("latitude", T::Float),
+        C::new("longitude", T::Float),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `phys_conn`: inferred standard paths between connected metros.
+pub fn phys_conn() -> Schema {
+    Schema::new(vec![
+        C::new("from_metro_id", T::Int),
+        C::new("from_metro", T::Text),
+        C::new("from_country", T::Text),
+        C::new("to_metro_id", T::Int),
+        C::new("to_metro", T::Text),
+        C::new("to_country", T::Text),
+        C::new("distance_km", T::Float),
+        C::new("path_wkt", T::Geometry),
+        // Right-of-way class: "roadway", "microwave", … (paper §5).
+        C::new("row_type", T::Text),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `land_points`: submarine cable landing sites.
+pub fn land_points() -> Schema {
+    Schema::new(vec![
+        C::new("cable_id", T::Int),
+        C::new("landing_name", T::Text),
+        C::new("metro_id", T::Int),
+        C::new("metro", T::Text),
+        C::new("country", T::Text),
+        C::new("latitude", T::Float),
+        C::new("longitude", T::Float),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `sub_cables`: submarine cable systems with their paths.
+pub fn sub_cables() -> Schema {
+    Schema::new(vec![
+        C::new("cable_id", T::Int),
+        C::new("cable_name", T::Text),
+        C::new("owners", T::Text),
+        C::new("length_km", T::Float),
+        C::new("cable_wkt", T::Geometry),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `asn_loc`: the geographic footprint of each ASN, with remote-peering
+/// and inference flags (§3.3, §4.4).
+pub fn asn_loc() -> Schema {
+    Schema::new(vec![
+        C::new("asn", T::Int),
+        C::new("metro_id", T::Int),
+        C::new("metro", T::Text),
+        C::new("country", T::Text),
+        C::new("remote_peering", T::Bool),
+        C::new("inferred", T::Bool),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `asn_name`: ASN ↔ AS-name, one row per source spelling (§3.2).
+pub fn asn_name() -> Schema {
+    Schema::new(vec![
+        C::new("asn", T::Int),
+        C::new("asn_name", T::Text),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `asn_org`: ASN ↔ organization, one row per source spelling.
+pub fn asn_org() -> Schema {
+    Schema::new(vec![
+        C::new("asn", T::Int),
+        C::new("organization", T::Text),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `asn_conn`: undirected AS adjacency from collector aggregation.
+pub fn asn_conn() -> Schema {
+    Schema::new(vec![
+        C::new("from_asn", T::Int),
+        C::new("to_asn", T::Int),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `ip_asn_dns`: the IP↔ASN↔FQDN↔geolocation bridge (§3.2).
+pub fn ip_asn_dns() -> Schema {
+    Schema::new(vec![
+        C::new("ip", T::Text),
+        C::nullable("asn", T::Int),
+        C::nullable("fqdn", T::Text),
+        C::nullable("metro_id", T::Int),
+        C::nullable("metro", T::Text),
+        C::new("geo_source", T::Text),
+        // §5: "an extra column … that annotates whether an IP address is
+        // part of an anycast prefix. This allows for several locations to
+        // be stored for such an IP address."
+        C::new("anycast", T::Bool),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `ixp_prefixes`: IXP peering LANs.
+pub fn ixp_prefixes() -> Schema {
+    Schema::new(vec![
+        C::new("ixp_name", T::Text),
+        C::new("prefix", T::Text),
+        C::new("metro_id", T::Int),
+        C::new("metro", T::Text),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `probes`: measurement anchors (the RIPE Atlas registration data).
+pub fn probes() -> Schema {
+    Schema::new(vec![
+        C::new("probe_id", T::Int),
+        C::new("ip", T::Text),
+        C::new("asn", T::Int),
+        C::new("metro_id", T::Int),
+        C::new("metro", T::Text),
+        C::new("latitude", T::Float),
+        C::new("longitude", T::Float),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// `traceroutes`: one row per hop of every mesh measurement.
+pub fn traceroutes() -> Schema {
+    Schema::new(vec![
+        C::new("src_probe", T::Int),
+        C::new("dst_probe", T::Int),
+        C::new("ttl", T::Int),
+        C::nullable("ip", T::Text),
+        C::new("rtt_ms", T::Float),
+        C::new("source", T::Text),
+        C::new("as_of_date", T::Text),
+    ])
+}
+
+/// Every (name, schema) pair, for bulk table creation.
+pub fn all_relations() -> Vec<(&'static str, Schema)> {
+    vec![
+        ("city_points", city_points()),
+        ("city_polygons", city_polygons()),
+        ("phys_nodes", phys_nodes()),
+        ("phys_conn", phys_conn()),
+        ("land_points", land_points()),
+        ("sub_cables", sub_cables()),
+        ("asn_loc", asn_loc()),
+        ("asn_name", asn_name()),
+        ("asn_org", asn_org()),
+        ("asn_conn", asn_conn()),
+        ("ip_asn_dns", ip_asn_dns()),
+        ("ixp_prefixes", ixp_prefixes()),
+        ("probes", probes()),
+        ("traceroutes", traceroutes()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_relations_unique_and_carry_provenance() {
+        let rels = all_relations();
+        assert_eq!(rels.len(), 14);
+        let names: std::collections::HashSet<&str> = rels.iter().map(|r| r.0).collect();
+        assert_eq!(names.len(), rels.len());
+        for (name, schema) in &rels {
+            assert!(
+                schema.index_of("source").is_ok(),
+                "{name} missing source column"
+            );
+            assert!(
+                schema.index_of("as_of_date").is_ok(),
+                "{name} missing as_of_date column"
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_columns_are_geometry_typed() {
+        let pc = phys_conn();
+        let idx = pc.index_of("path_wkt").unwrap();
+        assert_eq!(pc.columns()[idx].ty, igdb_db::ColumnType::Geometry);
+        let cp = city_polygons();
+        let idx = cp.index_of("geom").unwrap();
+        assert_eq!(cp.columns()[idx].ty, igdb_db::ColumnType::Geometry);
+    }
+}

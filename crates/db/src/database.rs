@@ -1,0 +1,221 @@
+//! A named collection of tables with directory persistence.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use parking_lot::RwLock;
+
+use crate::csv::{load_table, save_table};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::{DbError, Result};
+
+/// The iGDB database: named relations plus save/load of the whole set as a
+/// directory of CSV files (one file per relation, `<table>.csv`).
+///
+/// Interior locking lets read-heavy analyses share the database while a
+/// refresh pipeline loads new snapshots, mirroring how iGDB lets users
+/// "refresh their local data as frequently as required" (paper §2).
+pub struct Database {
+    tables: RwLock<BTreeMap<String, Table>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self {
+            tables: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// Creates an empty table. Errors if the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        tables.insert(name.to_string(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Registers an already-populated table (e.g. parsed from a snapshot).
+    pub fn put_table(&self, name: &str, table: Table) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(DbError::DuplicateTable(name.to_string()));
+        }
+        tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Replaces a table wholesale (snapshot refresh).
+    pub fn replace_table(&self, name: &str, table: Table) {
+        self.tables.write().insert(name.to_string(), table);
+    }
+
+    /// Removes a table, returning it if present.
+    pub fn drop_table(&self, name: &str) -> Option<Table> {
+        self.tables.write().remove(name)
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Runs `f` with shared access to a table.
+    pub fn with_table<R>(&self, name: &str, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        Ok(f(t))
+    }
+
+    /// Runs `f` with exclusive access to a table.
+    pub fn with_table_mut<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        Ok(f(t))
+    }
+
+    /// Inserts one row into a table.
+    pub fn insert(&self, name: &str, row: Vec<crate::Value>) -> Result<usize> {
+        self.with_table_mut(name, |t| t.insert(row))?
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, name: &str) -> Result<usize> {
+        self.with_table(name, |t| t.len())
+    }
+
+    /// Saves every table as `<dir>/<name>.csv`, creating the directory.
+    pub fn save_dir(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir).map_err(|e| DbError::Io(e.to_string()))?;
+        let tables = self.tables.read();
+        for (name, table) in tables.iter() {
+            save_table(table, &dir.join(format!("{name}.csv")))?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `*.csv` in a directory as a table named after the file
+    /// stem.
+    pub fn load_dir(dir: &Path) -> Result<Self> {
+        let db = Self::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| DbError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| DbError::Io(e.to_string()))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("csv") {
+                let name = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .ok_or_else(|| DbError::Format(format!("bad file name: {path:?}")))?
+                    .to_string();
+                db.put_table(&name, load_table(&path)?)?;
+            }
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+    use crate::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("asn", ColumnType::Int),
+            ColumnDef::new("name", ColumnType::Text),
+        ])
+    }
+
+    #[test]
+    fn create_insert_query_cycle() {
+        let db = Database::new();
+        db.create_table("asn_name", schema()).unwrap();
+        db.insert("asn_name", vec![Value::Int(174), Value::text("COGENT")])
+            .unwrap();
+        assert_eq!(db.row_count("asn_name").unwrap(), 1);
+        let hit = db
+            .with_table("asn_name", |t| {
+                t.lookup("asn", &Value::Int(174)).unwrap().len()
+            })
+            .unwrap();
+        assert_eq!(hit, 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tables() {
+        let db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        assert!(matches!(
+            db.create_table("t", schema()),
+            Err(DbError::DuplicateTable(_))
+        ));
+        assert!(matches!(
+            db.row_count("missing"),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn drop_and_replace() {
+        let db = Database::new();
+        db.create_table("t", schema()).unwrap();
+        db.insert("t", vec![Value::Int(1), Value::text("a")]).unwrap();
+        let mut replacement = Table::new(schema());
+        replacement
+            .insert(vec![Value::Int(2), Value::text("b")])
+            .unwrap();
+        db.replace_table("t", replacement);
+        assert_eq!(db.row_count("t").unwrap(), 1);
+        assert_eq!(
+            db.with_table("t", |t| t.row(0).unwrap()[0].clone()).unwrap(),
+            Value::Int(2)
+        );
+        let dropped = db.drop_table("t").unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert!(!db.has_table("t"));
+    }
+
+    #[test]
+    fn directory_round_trip() {
+        let db = Database::new();
+        db.create_table("asn_name", schema()).unwrap();
+        db.insert("asn_name", vec![Value::Int(174), Value::text("COGENT")])
+            .unwrap();
+        db.create_table("asn_org", schema()).unwrap();
+        db.insert("asn_org", vec![Value::Int(174), Value::text("Cogent LLC")])
+            .unwrap();
+
+        let dir = std::env::temp_dir().join("igdb_db_dir_test");
+        std::fs::remove_dir_all(&dir).ok();
+        db.save_dir(&dir).unwrap();
+        let back = Database::load_dir(&dir).unwrap();
+        assert_eq!(back.table_names(), vec!["asn_name", "asn_org"]);
+        assert_eq!(back.row_count("asn_name").unwrap(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let db = Database::new();
+        db.create_table("zeta", schema()).unwrap();
+        db.create_table("alpha", schema()).unwrap();
+        assert_eq!(db.table_names(), vec!["alpha", "zeta"]);
+    }
+}

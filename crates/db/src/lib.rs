@@ -1,0 +1,71 @@
+//! `igdb-db` — the embedded relational engine underneath iGDB.
+//!
+//! The paper organizes every collected snapshot into a relational database
+//! ("We implement iGDB in a toolkit that … organizes this data into a SQLite
+//! database, and generates a PostgreSQL spatial database", §7). Neither
+//! SQLite nor PostGIS is available in this environment, so this crate
+//! implements the required relational machinery from scratch:
+//!
+//! * [`value`] — dynamically typed column values with a total order.
+//! * [`schema`] — column definitions and per-relation schemas; every iGDB
+//!   relation carries `source` and `as_of_date` columns (paper §3).
+//! * [`table`] — row storage with insert-time validation and hash indexes.
+//! * [`query`] — predicate scans, projections, sorting, grouping with
+//!   aggregates, distinct, and hash equi-joins. The paper's use cases are
+//!   all expressible as these operations ("inconsistencies may be minimized
+//!   and accounted for using appropriate SQL queries", §3.2).
+//! * [`csv`] — snapshot persistence as headered CSV, the interchange format
+//!   iGDB uses for raw source snapshots.
+//! * [`database`] — a named collection of tables with save/load.
+//!
+//! Geometry columns hold WKT text, exactly as the paper stores physical
+//! paths and Thiessen cells; `igdb-geo` parses them on demand, keeping this
+//! crate dependency-free.
+
+pub mod csv;
+pub mod database;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use query::{Aggregate, Predicate, Query};
+pub use schema::{ColumnDef, ColumnType, Schema};
+pub use table::Table;
+pub use value::Value;
+
+/// Errors produced by database operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A table name was not found in the database.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// Row arity or column type did not match the schema.
+    SchemaViolation(String),
+    /// CSV/persistence format problem.
+    Format(String),
+    /// I/O failure during persistence, as a string (keeps the error Clone).
+    Io(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            DbError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            DbError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            DbError::SchemaViolation(m) => write!(f, "schema violation: {m}"),
+            DbError::Format(m) => write!(f, "format error: {m}"),
+            DbError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,216 @@
+//! Row storage with validation and secondary hash indexes.
+
+use std::collections::HashMap;
+
+use crate::schema::Schema;
+use crate::value::{Value, ValueKey};
+use crate::{DbError, Result};
+
+/// A table: a schema plus rows, with optional per-column hash indexes.
+///
+/// Indexes are equality indexes (hash maps from value to row ids), which is
+/// what iGDB's key lookups need — ASN, standardized metro name,
+/// organization name. Range scans fall back to sequential scan, which is
+/// fine at iGDB scale (the largest relation, `asn_conn`, holds ~4×10⁵
+/// rows).
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+    /// column index -> (value key -> row ids)
+    indexes: HashMap<usize, HashMap<ValueKey, Vec<usize>>>,
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("columns", &self.schema.len())
+            .field("rows", &self.rows.len())
+            .finish()
+    }
+}
+
+impl Table {
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    pub fn row(&self, id: usize) -> Option<&[Value]> {
+        self.rows.get(id).map(|r| r.as_slice())
+    }
+
+    /// Validates and appends a row, returning its row id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<usize> {
+        self.schema.validate_row(&row)?;
+        let id = self.rows.len();
+        for (&col, index) in self.indexes.iter_mut() {
+            index.entry(row[col].key()).or_default().push(id);
+        }
+        self.rows.push(row);
+        Ok(id)
+    }
+
+    /// Validates and appends many rows; all-or-nothing per row (earlier
+    /// rows stay inserted if a later row fails — batch loads should treat
+    /// an error as fatal for the snapshot).
+    pub fn insert_all<I: IntoIterator<Item = Vec<Value>>>(&mut self, rows: I) -> Result<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Builds (or rebuilds) an equality index on `column`.
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        let col = self.schema.index_of(column)?;
+        let mut index: HashMap<ValueKey, Vec<usize>> = HashMap::new();
+        for (id, row) in self.rows.iter().enumerate() {
+            index.entry(row[col].key()).or_default().push(id);
+        }
+        self.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// True if an equality index exists on `column`.
+    pub fn has_index(&self, column: &str) -> bool {
+        self.schema
+            .index_of(column)
+            .map(|c| self.indexes.contains_key(&c))
+            .unwrap_or(false)
+    }
+
+    /// Row ids where `column == value`, using the index when present.
+    pub fn lookup(&self, column: &str, value: &Value) -> Result<Vec<usize>> {
+        let col = self.schema.index_of(column)?;
+        if let Some(index) = self.indexes.get(&col) {
+            Ok(index.get(&value.key()).cloned().unwrap_or_default())
+        } else {
+            Ok(self
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r[col] == *value)
+                .map(|(i, _)| i)
+                .collect())
+        }
+    }
+
+    /// Convenience: the value of `column` in row `id`.
+    pub fn value(&self, id: usize, column: &str) -> Result<&Value> {
+        let col = self.schema.index_of(column)?;
+        self.rows
+            .get(id)
+            .map(|r| &r[col])
+            .ok_or_else(|| DbError::Format(format!("row id {id} out of range")))
+    }
+
+    /// Iterates `(row_id, row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[Value])> {
+        self.rows.iter().enumerate().map(|(i, r)| (i, r.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::new("asn", ColumnType::Int),
+            ColumnDef::new("name", ColumnType::Text),
+        ]);
+        let mut t = Table::new(schema);
+        t.insert(vec![Value::Int(174), Value::text("COGENT-174")])
+            .unwrap();
+        t.insert(vec![Value::Int(6939), Value::text("HURRICANE")])
+            .unwrap();
+        t.insert(vec![Value::Int(174), Value::text("Cogent alt name")])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_returns_sequential_ids() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0).unwrap()[0], Value::Int(174));
+        assert!(t.row(3).is_none());
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::text("wrong"), Value::text("x")]).is_err());
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        assert_eq!(t.len(), 3, "failed inserts must not add rows");
+    }
+
+    #[test]
+    fn lookup_without_index_scans() {
+        let t = table();
+        assert_eq!(t.lookup("asn", &Value::Int(174)).unwrap(), vec![0, 2]);
+        assert!(t.lookup("asn", &Value::Int(999)).unwrap().is_empty());
+        assert!(t.lookup("nope", &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn lookup_with_index_matches_scan() {
+        let mut t = table();
+        t.create_index("asn").unwrap();
+        assert!(t.has_index("asn"));
+        assert!(!t.has_index("name"));
+        assert_eq!(t.lookup("asn", &Value::Int(174)).unwrap(), vec![0, 2]);
+        assert_eq!(t.lookup("asn", &Value::Int(6939)).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn index_tracks_inserts_after_creation() {
+        let mut t = table();
+        t.create_index("asn").unwrap();
+        t.insert(vec![Value::Int(174), Value::text("third entry")])
+            .unwrap();
+        assert_eq!(t.lookup("asn", &Value::Int(174)).unwrap(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn value_accessor() {
+        let t = table();
+        assert_eq!(t.value(1, "name").unwrap(), &Value::text("HURRICANE"));
+        assert!(t.value(99, "name").is_err());
+    }
+
+    #[test]
+    fn insert_all_counts() {
+        let mut t = table();
+        let n = t
+            .insert_all(vec![
+                vec![Value::Int(1), Value::text("a")],
+                vec![Value::Int(2), Value::text("b")],
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.len(), 5);
+    }
+}

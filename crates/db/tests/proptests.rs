@@ -1,0 +1,151 @@
+//! Property-based tests for the relational engine.
+
+use proptest::prelude::*;
+
+use igdb_db::csv::{table_from_csv, table_to_csv};
+use igdb_db::{Aggregate, ColumnDef, ColumnType, Predicate, Query, Schema, Table, Value};
+
+fn arb_value_for(ty: ColumnType, nullable: bool) -> BoxedStrategy<Value> {
+    let base: BoxedStrategy<Value> = match ty {
+        ColumnType::Int => any::<i64>().prop_map(Value::Int).boxed(),
+        ColumnType::Float => (-1e9f64..1e9).prop_map(Value::Float).boxed(),
+        ColumnType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        ColumnType::Text | ColumnType::Geometry => r#"[ -~]{0,24}"#
+            .prop_map(Value::Text)
+            .boxed(),
+    };
+    if nullable {
+        prop_oneof![3 => base, 1 => Just(Value::Null)].boxed()
+    } else {
+        base
+    }
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    let schema = Schema::new(vec![
+        ColumnDef::new("k", ColumnType::Int),
+        ColumnDef::nullable("t", ColumnType::Text),
+        ColumnDef::nullable("f", ColumnType::Float),
+        ColumnDef::new("b", ColumnType::Bool),
+        ColumnDef::new("g", ColumnType::Geometry),
+    ]);
+    let row = (
+        any::<i64>().prop_map(Value::Int),
+        arb_value_for(ColumnType::Text, true),
+        arb_value_for(ColumnType::Float, true),
+        any::<bool>().prop_map(Value::Bool),
+        arb_value_for(ColumnType::Geometry, false),
+    )
+        .prop_map(|(a, b, c, d, e)| vec![a, b, c, d, e]);
+    proptest::collection::vec(row, 0..40).prop_map(move |rows| {
+        let mut t = Table::new(schema.clone());
+        for r in rows {
+            t.insert(r).unwrap();
+        }
+        t
+    })
+}
+
+proptest! {
+    #[test]
+    fn csv_roundtrip_preserves_rows(t in arb_table()) {
+        let text = table_to_csv(&t);
+        let back = table_from_csv(&text).unwrap();
+        prop_assert_eq!(back.schema(), t.schema());
+        prop_assert_eq!(back.rows(), t.rows());
+    }
+
+    #[test]
+    fn indexed_lookup_equals_scan(t in arb_table(), needle in any::<i64>()) {
+        // Lookups with and without an index agree; include values known to
+        // be present.
+        let mut probe_values: Vec<i64> = t.rows().iter().filter_map(|r| r[0].as_int()).collect();
+        probe_values.push(needle);
+        let mut indexed = {
+            let mut t2 = Table::new(t.schema().clone());
+            for r in t.rows() {
+                t2.insert(r.clone()).unwrap();
+            }
+            t2.create_index("k").unwrap();
+            t2
+        };
+        for v in probe_values {
+            let plain = t.lookup("k", &Value::Int(v)).unwrap();
+            let fast = indexed.lookup("k", &Value::Int(v)).unwrap();
+            prop_assert_eq!(plain, fast);
+        }
+        // Keep the borrow checker honest about mutability.
+        indexed.insert(vec![
+            Value::Int(needle),
+            Value::Null,
+            Value::Null,
+            Value::Bool(false),
+            Value::text("POINT (0 0)"),
+        ]).unwrap();
+        prop_assert!(indexed.lookup("k", &Value::Int(needle)).unwrap().len()
+            >= t.lookup("k", &Value::Int(needle)).unwrap().len());
+    }
+
+    #[test]
+    fn filter_partitions_rows(t in arb_table(), pivot in any::<i64>()) {
+        let lt = Query::new(&t)
+            .filter(Predicate::Lt("k".into(), Value::Int(pivot)))
+            .count()
+            .unwrap();
+        let ge = Query::new(&t)
+            .filter(Predicate::Ge("k".into(), Value::Int(pivot)))
+            .count()
+            .unwrap();
+        prop_assert_eq!(lt + ge, t.len());
+    }
+
+    #[test]
+    fn order_by_sorts_totally(t in arb_table()) {
+        let rows = Query::new(&t).order_by("f", true).rows().unwrap();
+        for w in rows.windows(2) {
+            prop_assert!(w[0][2].total_cmp(&w[1][2]) != std::cmp::Ordering::Greater);
+        }
+        prop_assert_eq!(rows.len(), t.len());
+    }
+
+    #[test]
+    fn group_by_counts_sum_to_total(t in arb_table()) {
+        let groups = Query::new(&t)
+            .group_by(vec!["b"], vec![Aggregate::Count])
+            .unwrap();
+        let total: i64 = groups.iter().map(|g| g[1].as_int().unwrap()).sum();
+        prop_assert_eq!(total as usize, t.len());
+        prop_assert!(groups.len() <= 2);
+    }
+
+    #[test]
+    fn distinct_never_exceeds_total(t in arb_table()) {
+        let distinct = Query::new(&t).select(vec!["t"]).distinct().count().unwrap();
+        prop_assert!(distinct <= t.len().max(1));
+    }
+
+    #[test]
+    fn limit_caps_results(t in arb_table(), n in 0usize..50) {
+        let rows = Query::new(&t).limit(n).rows().unwrap();
+        prop_assert_eq!(rows.len(), n.min(t.len()));
+    }
+
+    #[test]
+    fn value_total_order_is_transitive(
+        a in any::<i64>().prop_map(Value::Int),
+        b in (-1e6f64..1e6).prop_map(Value::Float),
+        c in r#"[ -~]{0,8}"#.prop_map(Value::Text),
+    ) {
+        use std::cmp::Ordering::*;
+        let vals = [Value::Null, a, b, c, Value::Bool(true)];
+        for x in &vals {
+            for y in &vals {
+                for z in &vals {
+                    if x.total_cmp(y) != Greater && y.total_cmp(z) != Greater {
+                        prop_assert!(x.total_cmp(z) != Greater, "{x:?} {y:?} {z:?}");
+                    }
+                }
+            }
+        }
+    }
+}

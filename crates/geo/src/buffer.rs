@@ -1,0 +1,190 @@
+//! Corridor buffers around polylines.
+//!
+//! Two iGDB analyses need "is this point within distance *d* of this path?":
+//!
+//! * Figure 4 tests whether each InterTubes long-haul link lies within 25
+//!   miles of an iGDB shortest-path route.
+//! * Figure 7's MPLS hidden-hop inference spatially joins AS peering
+//!   locations against a buffer around each inferred physical route.
+//!
+//! [`point_within_corridor`] answers the predicate exactly (great-circle
+//! point-to-polyline distance); [`buffer_polyline`] materializes an
+//! approximate buffer polygon for visualization/WKT export, built from
+//! per-segment rectangles and vertex arcs merged into a single ring via
+//! sampling. The predicate — not the polygon — is what analyses use, so
+//! polygon approximation error never affects results.
+
+use crate::geodesy::{destination, haversine_km, initial_bearing_deg, point_polyline_distance_km};
+use crate::geometry::Polygon;
+use crate::point::GeoPoint;
+
+/// True if `p` lies within `radius_km` of `polyline` (great-circle).
+pub fn point_within_corridor(p: &GeoPoint, polyline: &[GeoPoint], radius_km: f64) -> bool {
+    point_polyline_distance_km(p, polyline) <= radius_km
+}
+
+/// Fraction of `probe` vertices lying within `radius_km` of `reference`.
+/// Used by the Figure 4 comparison: an InterTubes link "is approximated"
+/// when (almost) all of its vertices fall inside an iGDB route corridor.
+pub fn polyline_coverage_fraction(
+    probe: &[GeoPoint],
+    reference: &[GeoPoint],
+    radius_km: f64,
+) -> f64 {
+    if probe.is_empty() {
+        return 0.0;
+    }
+    let hit = probe
+        .iter()
+        .filter(|p| point_within_corridor(p, reference, radius_km))
+        .count();
+    hit as f64 / probe.len() as f64
+}
+
+/// Builds an approximate buffer polygon of half-width `radius_km` around a
+/// polyline by offsetting each vertex perpendicular to the local path
+/// direction on both sides, then capping the ends with small arcs.
+///
+/// The result is a simple (possibly slightly self-overlapping at sharp
+/// turns) ring suitable for WKT export and map rendering.
+pub fn buffer_polyline(polyline: &[GeoPoint], radius_km: f64) -> Option<Polygon> {
+    if polyline.len() < 2 || radius_km <= 0.0 {
+        return None;
+    }
+    let n = polyline.len();
+    // Local direction at each vertex = bearing of adjacent segment(s).
+    let mut bearings = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = if i == 0 {
+            initial_bearing_deg(&polyline[0], &polyline[1])
+        } else if i == n - 1 {
+            initial_bearing_deg(&polyline[n - 2], &polyline[n - 1])
+        } else {
+            // Average incoming/outgoing bearings, careful with wraparound.
+            let b1 = initial_bearing_deg(&polyline[i - 1], &polyline[i]);
+            let b2 = initial_bearing_deg(&polyline[i], &polyline[i + 1]);
+            mean_bearing(b1, b2)
+        };
+        bearings.push(b);
+    }
+    let mut left = Vec::with_capacity(n);
+    let mut right = Vec::with_capacity(n);
+    for i in 0..n {
+        left.push(destination(&polyline[i], (bearings[i] + 270.0) % 360.0, radius_km));
+        right.push(destination(&polyline[i], (bearings[i] + 90.0) % 360.0, radius_km));
+    }
+    // Ring: left side forward, end cap, right side backward, start cap.
+    let mut ring = left;
+    for k in 1..4 {
+        let ang = (bearings[n - 1] + 270.0 + k as f64 * 45.0) % 360.0;
+        ring.push(destination(&polyline[n - 1], ang, radius_km));
+    }
+    right.reverse();
+    ring.extend(right);
+    for k in 1..4 {
+        let ang = (bearings[0] + 90.0 + k as f64 * 45.0) % 360.0;
+        ring.push(destination(&polyline[0], ang, radius_km));
+    }
+    Some(Polygon::new(ring, vec![]))
+}
+
+/// Circular mean of two bearings in degrees.
+fn mean_bearing(b1: f64, b2: f64) -> f64 {
+    let (r1, r2) = (b1.to_radians(), b2.to_radians());
+    let y = (r1.sin() + r2.sin()) / 2.0;
+    let x = (r1.cos() + r2.cos()) / 2.0;
+    let m = y.atan2(x).to_degrees();
+    (m + 360.0) % 360.0
+}
+
+/// True if any vertex of `path` lies within `radius_km` of point `p` —
+/// the reverse corridor test, used when joining many paths against one
+/// candidate intermediate node.
+pub fn polyline_near_point(path: &[GeoPoint], p: &GeoPoint, radius_km: f64) -> bool {
+    // Vertex prefilter then exact segment distance.
+    if path.iter().any(|v| haversine_km(v, p) <= radius_km) {
+        return true;
+    }
+    point_within_corridor(p, path, radius_km)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn straight_path() -> Vec<GeoPoint> {
+        // ~555 km along the equator.
+        (0..=5).map(|i| GeoPoint::new(i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn corridor_membership_by_distance() {
+        let path = straight_path();
+        // ~55 km north of the path.
+        let near = GeoPoint::new(2.5, 0.5);
+        let far = GeoPoint::new(2.5, 2.0); // ~222 km
+        assert!(point_within_corridor(&near, &path, 60.0));
+        assert!(!point_within_corridor(&near, &path, 50.0));
+        assert!(!point_within_corridor(&far, &path, 60.0));
+    }
+
+    #[test]
+    fn coverage_fraction_full_and_partial() {
+        let reference = straight_path();
+        let on_top: Vec<GeoPoint> = (0..=5).map(|i| GeoPoint::new(i as f64, 0.1)).collect();
+        assert!((polyline_coverage_fraction(&on_top, &reference, 25.0) - 1.0).abs() < 1e-12);
+        // Half the probe wanders away.
+        let half: Vec<GeoPoint> = (0..=5)
+            .map(|i| {
+                if i <= 2 {
+                    GeoPoint::new(i as f64, 0.05)
+                } else {
+                    GeoPoint::new(i as f64, 3.0)
+                }
+            })
+            .collect();
+        let f = polyline_coverage_fraction(&half, &reference, 25.0);
+        assert!((f - 0.5).abs() < 1e-12, "got {f}");
+    }
+
+    #[test]
+    fn coverage_fraction_empty_probe_is_zero() {
+        assert_eq!(polyline_coverage_fraction(&[], &straight_path(), 25.0), 0.0);
+    }
+
+    #[test]
+    fn buffer_polygon_contains_path_and_excludes_far_points() {
+        let path = straight_path();
+        let poly = buffer_polyline(&path, 50.0).unwrap();
+        for p in &path {
+            assert!(poly.contains(p), "path vertex {p:?} outside its own buffer");
+        }
+        // Mid-path point just inside the buffer width.
+        assert!(poly.contains(&GeoPoint::new(2.5, 0.3))); // ~33 km
+        assert!(!poly.contains(&GeoPoint::new(2.5, 1.0))); // ~111 km
+    }
+
+    #[test]
+    fn buffer_degenerate_inputs() {
+        assert!(buffer_polyline(&[], 10.0).is_none());
+        assert!(buffer_polyline(&[GeoPoint::new(0.0, 0.0)], 10.0).is_none());
+        assert!(buffer_polyline(&straight_path(), 0.0).is_none());
+        assert!(buffer_polyline(&straight_path(), -5.0).is_none());
+    }
+
+    #[test]
+    fn polyline_near_point_uses_segments_not_just_vertices() {
+        // Sparse path: vertices 10 degrees apart; point near segment middle.
+        let path = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(10.0, 0.0)];
+        let p = GeoPoint::new(5.0, 0.3); // ~33 km from the segment, ~560 km from vertices
+        assert!(polyline_near_point(&path, &p, 50.0));
+        assert!(!polyline_near_point(&path, &p, 20.0));
+    }
+
+    #[test]
+    fn mean_bearing_handles_wraparound() {
+        // 350° and 10° average to 0°, not 180°.
+        let m = mean_bearing(350.0, 10.0);
+        assert!(m < 1.0 || m > 359.0, "got {m}");
+    }
+}

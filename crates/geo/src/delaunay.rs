@@ -1,0 +1,455 @@
+//! Bowyer–Watson Delaunay triangulation in planar lon/lat space.
+//!
+//! iGDB's name-standardization step needs the Thiessen (Voronoi) diagram of
+//! 7,342 urban areas (paper §3.1). We obtain it by dualizing a Delaunay
+//! triangulation: a site's Voronoi cell is exactly the intersection of the
+//! half-planes toward its Delaunay neighbours, so [`crate::voronoi`] only
+//! needs the neighbour sets this module produces.
+//!
+//! The implementation is the classic incremental Bowyer–Watson algorithm
+//! with triangle adjacency and walk-based point location, giving near
+//! `O(n log n)` behaviour on shuffled input. Coordinates are treated as
+//! planar; that matches the paper, whose ArcGIS tessellation is likewise a
+//! projected planar construction.
+
+use crate::point::GeoPoint;
+
+/// A triangle as three site indexes (counter-clockwise).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tri(pub usize, pub usize, pub usize);
+
+/// Result of triangulating a site set.
+pub struct Triangulation {
+    /// The input sites (deduplicated view is internal; indexes here refer to
+    /// the original slice passed to [`triangulate`]).
+    pub triangles: Vec<Tri>,
+    /// For each input site, the sorted, deduplicated list of Delaunay
+    /// neighbour site indexes. Duplicated input points get the neighbours of
+    /// their representative.
+    pub neighbors: Vec<Vec<usize>>,
+}
+
+#[derive(Clone)]
+struct Triangle {
+    /// Vertex indexes into the working point array (sites + 3 super
+    /// vertices at the end).
+    v: [usize; 3],
+    /// Neighbour across edge i, where edge i joins `v[i]` and `v[(i+1)%3]`.
+    n: [Option<usize>; 3],
+    alive: bool,
+}
+
+/// Computes the Delaunay triangulation of `sites`.
+///
+/// Exact duplicate points are collapsed (the first occurrence wins, later
+/// duplicates inherit its neighbours). Fewer than 3 distinct sites yield an
+/// empty triangle list but still-correct (empty or single) neighbour sets.
+pub fn triangulate(sites: &[GeoPoint]) -> Triangulation {
+    let n = sites.len();
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Deduplicate exactly-coincident sites.
+    let mut rep: Vec<usize> = (0..n).collect();
+    {
+        let mut seen: std::collections::HashMap<(u64, u64), usize> = std::collections::HashMap::new();
+        for (i, p) in sites.iter().enumerate() {
+            let key = (p.lon.to_bits(), p.lat.to_bits());
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => rep[i] = *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let distinct: Vec<usize> = (0..n).filter(|&i| rep[i] == i).collect();
+    if distinct.len() < 3 {
+        // No triangles; neighbours are the other distinct site, if any.
+        if distinct.len() == 2 {
+            let (a, b) = (distinct[0], distinct[1]);
+            neighbors[a].push(b);
+            neighbors[b].push(a);
+        }
+        propagate_duplicate_neighbors(&rep, &mut neighbors);
+        return Triangulation {
+            triangles: Vec::new(),
+            neighbors,
+        };
+    }
+
+    // Working point array: distinct sites then 3 super-triangle vertices.
+    let mut pts: Vec<GeoPoint> = distinct.iter().map(|&i| sites[i]).collect();
+    let b = crate::point::BoundingBox::from_points(pts.iter());
+    let span = ((b.max_lon - b.min_lon).max(b.max_lat - b.min_lat)).max(1.0);
+    let c = b.center();
+    let m = 64.0 * span;
+    let sv = pts.len();
+    pts.push(GeoPoint::raw(c.lon - m, c.lat - m * 0.6));
+    pts.push(GeoPoint::raw(c.lon + m, c.lat - m * 0.6));
+    pts.push(GeoPoint::raw(c.lon, c.lat + m));
+
+    let mut tris: Vec<Triangle> = vec![Triangle {
+        v: ccw(&pts, [sv, sv + 1, sv + 2]),
+        n: [None, None, None],
+        alive: true,
+    }];
+    let mut last_alive = 0usize;
+
+    // Shuffle-free deterministic insertion order that still avoids the
+    // adversarial sorted-input case: a fixed-stride permutation.
+    let count = sv;
+    let order = stride_permutation(count);
+
+    for &pi in &order {
+        let p = pts[pi];
+        // Locate a triangle whose circumcircle contains p, starting from a
+        // walk to the containing triangle.
+        let start = walk_to_containing(&pts, &tris, last_alive, &p);
+        // BFS collecting the cavity: all triangles whose circumcircle
+        // contains p.
+        let mut bad = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = vec![start];
+        seen.insert(start);
+        while let Some(t) = queue.pop() {
+            if !tris[t].alive {
+                continue;
+            }
+            if in_circumcircle(&pts, &tris[t], &p) {
+                bad.push(t);
+                for nb in tris[t].n.iter().flatten() {
+                    if seen.insert(*nb) {
+                        queue.push(*nb);
+                    }
+                }
+            }
+        }
+        if bad.is_empty() {
+            // Numerically degenerate (p on an edge/vertex); fall back to a
+            // global scan to stay correct.
+            for (ti, t) in tris.iter().enumerate() {
+                if t.alive && in_circumcircle(&pts, t, &p) {
+                    bad.push(ti);
+                }
+            }
+            if bad.is_empty() {
+                continue; // effectively a duplicate; skip
+            }
+        }
+        let bad_set: std::collections::HashSet<usize> = bad.iter().copied().collect();
+        // Boundary edges of the cavity: (a, b, outer_neighbor).
+        let mut boundary: Vec<(usize, usize, Option<usize>)> = Vec::new();
+        for &ti in &bad {
+            let t = tris[ti].clone();
+            for e in 0..3 {
+                let nb = t.n[e];
+                let is_inner = nb.map_or(false, |x| bad_set.contains(&x));
+                if !is_inner {
+                    boundary.push((t.v[e], t.v[(e + 1) % 3], nb));
+                }
+            }
+            tris[ti].alive = false;
+        }
+        // Create new triangles (p, a, b) per boundary edge.
+        let mut edge_to_tri: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut created = Vec::with_capacity(boundary.len());
+        for &(a, bv, outer) in &boundary {
+            let idx = tris.len();
+            tris.push(Triangle {
+                v: [pi, a, bv],
+                n: [None, outer, None], // edge1 = (a,b) faces outer
+            alive: true,
+            });
+            // Fix the outer neighbour's back-pointer.
+            if let Some(o) = outer {
+                let on = &mut tris[o];
+                for e in 0..3 {
+                    if (on.v[e] == bv && on.v[(e + 1) % 3] == a)
+                        || (on.v[e] == a && on.v[(e + 1) % 3] == bv)
+                    {
+                        on.n[e] = Some(idx);
+                    }
+                }
+            }
+            edge_to_tri.insert((pi, a), idx); // edge0 = (p,a)
+            edge_to_tri.insert((bv, pi), idx); // edge2 = (b,p)
+            created.push(idx);
+        }
+        // Stitch new triangles to each other: edge (p,a) of one matches
+        // edge (a,p) of the triangle whose boundary edge ends at a.
+        for &idx in &created {
+            let (a, bv) = (tris[idx].v[1], tris[idx].v[2]);
+            if let Some(&other) = edge_to_tri.get(&(a, pi)) {
+                tris[idx].n[0] = Some(other); // across (p,a)
+            }
+            if let Some(&other) = edge_to_tri.get(&(pi, bv)) {
+                tris[idx].n[2] = Some(other); // across (b,p)
+            }
+        }
+        if let Some(&first) = created.first() {
+            last_alive = first;
+        }
+    }
+
+    // Harvest: triangles with no super vertex; neighbour sets from all
+    // alive triangles (including super ones, whose site-site edges still
+    // encode hull adjacency).
+    let mut triangles = Vec::new();
+    for t in &tris {
+        if !t.alive {
+            continue;
+        }
+        let has_super = t.v.iter().any(|&v| v >= sv);
+        for e in 0..3 {
+            let (a, bv) = (t.v[e], t.v[(e + 1) % 3]);
+            if a < sv && bv < sv {
+                let (oa, ob) = (distinct[a], distinct[bv]);
+                neighbors[oa].push(ob);
+                neighbors[ob].push(oa);
+            }
+        }
+        if !has_super {
+            triangles.push(Tri(distinct[t.v[0]], distinct[t.v[1]], distinct[t.v[2]]));
+        }
+    }
+    for v in neighbors.iter_mut() {
+        v.sort_unstable();
+        v.dedup();
+    }
+    propagate_duplicate_neighbors(&rep, &mut neighbors);
+    Triangulation {
+        triangles,
+        neighbors,
+    }
+}
+
+fn propagate_duplicate_neighbors(rep: &[usize], neighbors: &mut [Vec<usize>]) {
+    for i in 0..rep.len() {
+        if rep[i] != i {
+            neighbors[i] = neighbors[rep[i]].clone();
+        }
+    }
+}
+
+/// Deterministic pseudo-shuffle: visits indexes with a stride coprime to n.
+fn stride_permutation(n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut stride = (n as f64 * 0.618_033_9).round() as usize; // golden ratio
+    stride = stride.max(1);
+    while gcd(stride, n) != 1 {
+        stride += 1;
+    }
+    (0..n).map(|i| (i * stride) % n).collect()
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn ccw(pts: &[GeoPoint], v: [usize; 3]) -> [usize; 3] {
+    if orient(&pts[v[0]], &pts[v[1]], &pts[v[2]]) < 0.0 {
+        [v[0], v[2], v[1]]
+    } else {
+        v
+    }
+}
+
+/// Twice the signed area of triangle abc (positive = counter-clockwise).
+fn orient(a: &GeoPoint, b: &GeoPoint, c: &GeoPoint) -> f64 {
+    (b.lon - a.lon) * (c.lat - a.lat) - (b.lat - a.lat) * (c.lon - a.lon)
+}
+
+/// True if `p` lies strictly inside the circumcircle of (ccw) triangle `t`.
+fn in_circumcircle(pts: &[GeoPoint], t: &Triangle, p: &GeoPoint) -> bool {
+    let a = &pts[t.v[0]];
+    let b = &pts[t.v[1]];
+    let c = &pts[t.v[2]];
+    let (ax, ay) = (a.lon - p.lon, a.lat - p.lat);
+    let (bx, by) = (b.lon - p.lon, b.lat - p.lat);
+    let (cx, cy) = (c.lon - p.lon, c.lat - p.lat);
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > 0.0
+}
+
+/// Walks from `start` toward the triangle containing `p`.
+fn walk_to_containing(pts: &[GeoPoint], tris: &[Triangle], start: usize, p: &GeoPoint) -> usize {
+    let mut cur = start;
+    if !tris[cur].alive {
+        cur = tris
+            .iter()
+            .rposition(|t| t.alive)
+            .expect("at least one alive triangle");
+    }
+    let mut steps = 0usize;
+    let max_steps = tris.len() * 4 + 16;
+    'walk: loop {
+        let t = &tris[cur];
+        for e in 0..3 {
+            let a = &pts[t.v[e]];
+            let b = &pts[t.v[(e + 1) % 3]];
+            if orient(a, b, p) < -1e-13 {
+                if let Some(nb) = t.n[e] {
+                    if tris[nb].alive {
+                        cur = nb;
+                        steps += 1;
+                        if steps > max_steps {
+                            break 'walk;
+                        }
+                        continue 'walk;
+                    }
+                }
+            }
+        }
+        return cur;
+    }
+    // Fallback: linear scan for any alive triangle containing p.
+    for (ti, t) in tris.iter().enumerate() {
+        if t.alive && triangle_contains(pts, t, p) {
+            return ti;
+        }
+    }
+    tris.iter().position(|t| t.alive).expect("alive triangle")
+}
+
+fn triangle_contains(pts: &[GeoPoint], t: &Triangle, p: &GeoPoint) -> bool {
+    (0..3).all(|e| orient(&pts[t.v[e]], &pts[t.v[(e + 1) % 3]], p) >= -1e-13)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_yields_two_triangles() {
+        let sites = vec![
+            GeoPoint::raw(0.0, 0.0),
+            GeoPoint::raw(1.0, 0.0),
+            GeoPoint::raw(1.0, 1.0),
+            GeoPoint::raw(0.0, 1.0),
+        ];
+        let t = triangulate(&sites);
+        assert_eq!(t.triangles.len(), 2);
+        // Every site neighbours at least the two adjacent corners.
+        for nb in &t.neighbors {
+            assert!(nb.len() >= 2, "{nb:?}");
+        }
+    }
+
+    #[test]
+    fn fewer_than_three_sites() {
+        let t0 = triangulate(&[]);
+        assert!(t0.triangles.is_empty());
+        let t1 = triangulate(&[GeoPoint::raw(0.0, 0.0)]);
+        assert!(t1.triangles.is_empty());
+        assert!(t1.neighbors[0].is_empty());
+        let t2 = triangulate(&[GeoPoint::raw(0.0, 0.0), GeoPoint::raw(1.0, 0.0)]);
+        assert!(t2.triangles.is_empty());
+        assert_eq!(t2.neighbors[0], vec![1]);
+        assert_eq!(t2.neighbors[1], vec![0]);
+    }
+
+    #[test]
+    fn duplicate_sites_share_neighbors() {
+        let sites = vec![
+            GeoPoint::raw(0.0, 0.0),
+            GeoPoint::raw(1.0, 0.0),
+            GeoPoint::raw(0.5, 1.0),
+            GeoPoint::raw(0.0, 0.0), // duplicate of site 0
+        ];
+        let t = triangulate(&sites);
+        assert_eq!(t.triangles.len(), 1);
+        assert_eq!(t.neighbors[3], t.neighbors[0]);
+    }
+
+    /// The empty-circumcircle property is the defining Delaunay invariant.
+    #[test]
+    fn delaunay_empty_circumcircle_property() {
+        // Deterministic scattered points.
+        let mut sites = Vec::new();
+        let mut x = 0.12345_f64;
+        for _ in 0..60 {
+            x = (x * 997.0 + 0.171).fract();
+            let y = (x * 613.0 + 0.377).fract();
+            sites.push(GeoPoint::raw(x * 100.0, y * 60.0));
+        }
+        let t = triangulate(&sites);
+        assert!(!t.triangles.is_empty());
+        for tri in &t.triangles {
+            let tt = Triangle {
+                v: ccw(&sites, [tri.0, tri.1, tri.2]),
+                n: [None; 3],
+                alive: true,
+            };
+            for (si, s) in sites.iter().enumerate() {
+                if si == tri.0 || si == tri.1 || si == tri.2 {
+                    continue;
+                }
+                // Allow a whisker of tolerance for near-cocircular quads.
+                let a = &sites[tt.v[0]];
+                let b = &sites[tt.v[1]];
+                let c = &sites[tt.v[2]];
+                let (ax, ay) = (a.lon - s.lon, a.lat - s.lat);
+                let (bx, by) = (b.lon - s.lon, b.lat - s.lat);
+                let (cx, cy) = (c.lon - s.lon, c.lat - s.lat);
+                let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+                    - (bx * bx + by * by) * (ax * cy - cx * ay)
+                    + (cx * cx + cy * cy) * (ax * by - bx * ay);
+                assert!(
+                    det <= 1e-6,
+                    "site {si} strictly inside circumcircle of {tri:?} (det={det})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let mut sites = Vec::new();
+        let mut x = 0.77_f64;
+        for _ in 0..120 {
+            x = (x * 823.0 + 0.29).fract();
+            let y = (x * 401.0 + 0.53).fract();
+            sites.push(GeoPoint::raw(x * 360.0 - 180.0, y * 160.0 - 80.0));
+        }
+        let t = triangulate(&sites);
+        for (i, nbs) in t.neighbors.iter().enumerate() {
+            for &j in nbs {
+                assert!(t.neighbors[j].contains(&i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn collinear_sites_do_not_panic() {
+        let sites: Vec<GeoPoint> = (0..10).map(|i| GeoPoint::raw(i as f64, 0.0)).collect();
+        let t = triangulate(&sites);
+        // Collinear points have no triangles, but adjacency along the line
+        // may still be picked up via super-triangle fans.
+        assert!(t.triangles.is_empty());
+    }
+
+    #[test]
+    fn triangle_count_matches_euler_bound() {
+        // For n sites with h on the hull: triangles = 2n - h - 2.
+        let mut sites = Vec::new();
+        let mut x = 0.31_f64;
+        for _ in 0..200 {
+            x = (x * 991.0 + 0.7).fract();
+            let y = (x * 577.0 + 0.19).fract();
+            sites.push(GeoPoint::raw(x * 50.0, y * 50.0));
+        }
+        let t = triangulate(&sites);
+        let n = sites.len();
+        // Hull size is unknown; just check bounds 2n-h-2 where 3<=h<=n.
+        assert!(t.triangles.len() <= 2 * n - 5);
+        assert!(t.triangles.len() >= n - 2);
+    }
+}

@@ -1,0 +1,278 @@
+//! Spatial-join primitives: nearest-site assignment and point-in-polygon
+//! joins.
+//!
+//! These are the two ArcGIS operations at the heart of iGDB's
+//! standardization pipeline (paper §3.1): every physical node is spatially
+//! joined to its nearest urban area (equivalently, to the Thiessen cell
+//! containing it), and several analyses join point sets against polygon
+//! sets (buffers, AS extents).
+
+use crate::geodesy::haversine_km;
+use crate::geometry::Polygon;
+use crate::point::{BoundingBox, GeoPoint};
+use crate::rtree::{point_tree, RTree};
+
+/// Nearest-site index over a fixed set of sites (e.g. the 7,342 urban
+/// areas). Queries return the site whose *great-circle* distance is
+/// minimal, which by construction is the Thiessen cell the query point
+/// falls in — so assignment never needs the polygon geometry at all.
+pub struct NearestSiteIndex {
+    tree: RTree<usize>,
+    sites: Vec<GeoPoint>,
+}
+
+impl NearestSiteIndex {
+    /// Builds the index. Sites may contain duplicates; ties resolve to the
+    /// lowest index deterministically.
+    pub fn new(sites: Vec<GeoPoint>) -> Self {
+        let entries = sites.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        Self {
+            tree: point_tree(entries),
+            sites,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    pub fn site(&self, i: usize) -> &GeoPoint {
+        &self.sites[i]
+    }
+
+    /// Returns `(site_index, great_circle_km)` of the nearest site, or
+    /// `None` for an empty index.
+    ///
+    /// Strategy: use the planar R-tree nearest as a seed, then expand a
+    /// degree-radius window wide enough to contain any site that could beat
+    /// the seed in great-circle terms (planar degree distance understates
+    /// longitude compression at high latitude by up to `1/cos(lat)`), and
+    /// scan candidates exactly.
+    pub fn nearest(&self, p: &GeoPoint) -> Option<(usize, f64)> {
+        let (seed, _) = self.tree.nearest_by_center(p)?;
+        let seed_idx = *seed;
+        let seed_km = haversine_km(p, &self.sites[seed_idx]);
+        // Window: seed distance converted to degrees, inflated for latitude
+        // compression. 1 degree latitude ≈ 111.2 km.
+        let margin_deg = (seed_km / 111.0) * (1.0 / p.lat.to_radians().cos().abs().max(0.05)) + 1e-9;
+        let mut best = (seed_idx, seed_km);
+        for idx in self.tree.query_within_deg(p, margin_deg) {
+            let d = haversine_km(p, &self.sites[*idx]);
+            if d < best.1 || (d == best.1 && *idx < best.0) {
+                best = (*idx, d);
+            }
+        }
+        Some(best)
+    }
+
+    /// All site indexes within `radius_km` great-circle of `p`, sorted by
+    /// distance (ties by index).
+    pub fn within_km(&self, p: &GeoPoint, radius_km: f64) -> Vec<(usize, f64)> {
+        let margin_deg = (radius_km / 111.0) * (1.0 / p.lat.to_radians().cos().abs().max(0.05));
+        let mut out: Vec<(usize, f64)> = self
+            .tree
+            .query_within_deg(p, margin_deg)
+            .into_iter()
+            .filter_map(|idx| {
+                let d = haversine_km(p, &self.sites[*idx]);
+                (d <= radius_km).then_some((*idx, d))
+            })
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Point-in-polygon spatial join over many polygons, R-tree accelerated.
+pub struct SpatialJoin {
+    tree: RTree<usize>,
+    polygons: Vec<Polygon>,
+}
+
+impl SpatialJoin {
+    pub fn new(polygons: Vec<Polygon>) -> Self {
+        let entries = polygons
+            .iter()
+            .enumerate()
+            .map(|(i, poly)| (poly.bbox(), i))
+            .collect();
+        Self {
+            tree: RTree::bulk_load(entries),
+            polygons,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    pub fn polygon(&self, i: usize) -> &Polygon {
+        &self.polygons[i]
+    }
+
+    /// Indexes of all polygons containing `p`.
+    pub fn containing(&self, p: &GeoPoint) -> Vec<usize> {
+        let probe = BoundingBox {
+            min_lon: p.lon,
+            min_lat: p.lat,
+            max_lon: p.lon,
+            max_lat: p.lat,
+        };
+        let mut hits: Vec<usize> = self
+            .tree
+            .query_bbox(&probe)
+            .into_iter()
+            .filter(|&&i| self.polygons[i].contains(p))
+            .copied()
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    /// The first polygon containing `p`, if any (lowest index).
+    pub fn first_containing(&self, p: &GeoPoint) -> Option<usize> {
+        self.containing(p).into_iter().next()
+    }
+
+    /// Joins a batch of points: for each point, the polygons containing it.
+    pub fn join_points(&self, points: &[GeoPoint]) -> Vec<Vec<usize>> {
+        points.iter().map(|p| self.containing(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_site_simple() {
+        let sites = vec![
+            GeoPoint::new(-3.70, 40.42), // Madrid
+            GeoPoint::new(2.35, 48.85),  // Paris
+            GeoPoint::new(13.40, 52.52), // Berlin
+        ];
+        let idx = NearestSiteIndex::new(sites);
+        let (i, d) = idx.nearest(&GeoPoint::new(2.0, 48.0)).unwrap();
+        assert_eq!(i, 1, "should pick Paris");
+        assert!(d < 120.0);
+    }
+
+    #[test]
+    fn nearest_empty_index() {
+        let idx = NearestSiteIndex::new(vec![]);
+        assert!(idx.nearest(&GeoPoint::new(0.0, 0.0)).is_none());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn nearest_handles_high_latitude_compression() {
+        // At 80°N a degree of longitude is only ~19 km. Planar nearest in
+        // degree space would wrongly prefer a site 3° away in latitude over
+        // a site 5° away in longitude; great-circle nearest must not.
+        let sites = vec![
+            GeoPoint::new(5.0, 80.0), // ~96 km east of probe (at 80°N)
+            GeoPoint::new(0.0, 77.0), // ~334 km south of probe
+        ];
+        let idx = NearestSiteIndex::new(sites);
+        let (i, _) = idx.nearest(&GeoPoint::new(0.0, 80.0)).unwrap();
+        assert_eq!(i, 0, "must pick the longitudinally-near site");
+    }
+
+    #[test]
+    fn nearest_matches_exhaustive_scan() {
+        let mut sites = Vec::new();
+        let mut x = 0.5_f64;
+        for _ in 0..300 {
+            x = (x * 911.0 + 0.37).fract();
+            let y = (x * 477.0 + 0.11).fract();
+            sites.push(GeoPoint::new(x * 360.0 - 180.0, y * 170.0 - 85.0));
+        }
+        let idx = NearestSiteIndex::new(sites.clone());
+        for k in 0..40 {
+            let probe = GeoPoint::new(
+                ((k * 37) % 360) as f64 - 180.0,
+                ((k * 23) % 170) as f64 - 85.0,
+            );
+            let (got, gd) = idx.nearest(&probe).unwrap();
+            let (want, wd) = sites
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, haversine_km(&probe, s)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            assert!(
+                (gd - wd).abs() < 1e-9,
+                "probe {probe:?}: got site {got} at {gd}, want {want} at {wd}"
+            );
+        }
+    }
+
+    #[test]
+    fn within_km_sorted_and_complete() {
+        let sites = vec![
+            GeoPoint::new(0.0, 0.0),
+            GeoPoint::new(0.5, 0.0),  // ~56 km
+            GeoPoint::new(0.0, 1.0),  // ~111 km
+            GeoPoint::new(3.0, 0.0),  // ~334 km
+        ];
+        let idx = NearestSiteIndex::new(sites);
+        let hits = idx.within_km(&GeoPoint::new(0.0, 0.0), 150.0);
+        let ids: Vec<usize> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(hits.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn spatial_join_containing() {
+        let squares = vec![
+            Polygon::new(
+                vec![
+                    GeoPoint::raw(0.0, 0.0),
+                    GeoPoint::raw(10.0, 0.0),
+                    GeoPoint::raw(10.0, 10.0),
+                    GeoPoint::raw(0.0, 10.0),
+                ],
+                vec![],
+            ),
+            Polygon::new(
+                vec![
+                    GeoPoint::raw(5.0, 5.0),
+                    GeoPoint::raw(15.0, 5.0),
+                    GeoPoint::raw(15.0, 15.0),
+                    GeoPoint::raw(5.0, 15.0),
+                ],
+                vec![],
+            ),
+        ];
+        let join = SpatialJoin::new(squares);
+        assert_eq!(join.containing(&GeoPoint::raw(2.0, 2.0)), vec![0]);
+        assert_eq!(join.containing(&GeoPoint::raw(7.0, 7.0)), vec![0, 1]);
+        assert_eq!(join.containing(&GeoPoint::raw(12.0, 12.0)), vec![1]);
+        assert!(join.containing(&GeoPoint::raw(20.0, 20.0)).is_empty());
+        assert_eq!(join.first_containing(&GeoPoint::raw(7.0, 7.0)), Some(0));
+    }
+
+    #[test]
+    fn join_points_batch() {
+        let join = SpatialJoin::new(vec![Polygon::new(
+            vec![
+                GeoPoint::raw(0.0, 0.0),
+                GeoPoint::raw(1.0, 0.0),
+                GeoPoint::raw(1.0, 1.0),
+                GeoPoint::raw(0.0, 1.0),
+            ],
+            vec![],
+        )]);
+        let res = join.join_points(&[GeoPoint::raw(0.5, 0.5), GeoPoint::raw(2.0, 2.0)]);
+        assert_eq!(res[0], vec![0]);
+        assert!(res[1].is_empty());
+    }
+}

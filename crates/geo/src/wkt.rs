@@ -1,0 +1,496 @@
+//! Well-Known Text (WKT) reader and writer.
+//!
+//! iGDB stores every geometry column — city Thiessen cells, inferred
+//! right-of-way paths, submarine cable segments — as WKT strings so the
+//! database stays GIS-agnostic (paper §3.1, citing the OGC WKT spec). This
+//! module implements the subset the schema uses: `POINT`, `LINESTRING`,
+//! `MULTILINESTRING`, `POLYGON`, `MULTIPOLYGON`, plus `EMPTY` forms.
+//!
+//! Coordinates are written `lon lat` (x y), matching OGC axis order.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::geometry::{Geometry, LineString, MultiLineString, MultiPolygon, Polygon};
+use crate::point::GeoPoint;
+
+/// Error produced when parsing malformed WKT.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WktError {
+    /// Human-readable description with byte offset.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for WktError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WKT parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Parses a WKT string into a [`Geometry`].
+///
+/// ```
+/// use igdb_geo::{parse_wkt, Geometry};
+/// let g = parse_wkt("POINT (13.4050 52.5200)").unwrap();
+/// assert!(matches!(g, Geometry::Point(p) if (p.lat - 52.52).abs() < 1e-9));
+/// ```
+pub fn parse_wkt(input: &str) -> Result<Geometry, WktError> {
+    let mut p = Parser::new(input);
+    let g = p.parse_geometry()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing characters after geometry"));
+    }
+    Ok(g)
+}
+
+/// Serializes a [`Geometry`] to WKT with six decimal places (≈0.1 m), the
+/// precision iGDB uses for all stored paths.
+pub fn to_wkt(g: &Geometry) -> String {
+    let mut s = String::new();
+    match g {
+        Geometry::Point(pt) => {
+            s.push_str("POINT (");
+            write_point(&mut s, pt);
+            s.push(')');
+        }
+        Geometry::LineString(ls) => {
+            if ls.0.is_empty() {
+                return "LINESTRING EMPTY".to_string();
+            }
+            s.push_str("LINESTRING ");
+            write_coord_list(&mut s, &ls.0);
+        }
+        Geometry::MultiLineString(mls) => {
+            if mls.0.is_empty() {
+                return "MULTILINESTRING EMPTY".to_string();
+            }
+            s.push_str("MULTILINESTRING (");
+            for (i, ls) in mls.0.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_coord_list(&mut s, &ls.0);
+            }
+            s.push(')');
+        }
+        Geometry::Polygon(poly) => {
+            if poly.exterior.is_empty() {
+                return "POLYGON EMPTY".to_string();
+            }
+            s.push_str("POLYGON ");
+            write_polygon_body(&mut s, poly);
+        }
+        Geometry::MultiPolygon(mp) => {
+            if mp.0.is_empty() {
+                return "MULTIPOLYGON EMPTY".to_string();
+            }
+            s.push_str("MULTIPOLYGON (");
+            for (i, poly) in mp.0.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                write_polygon_body(&mut s, poly);
+            }
+            s.push(')');
+        }
+    }
+    s
+}
+
+fn write_point(s: &mut String, p: &GeoPoint) {
+    let _ = write!(s, "{} {}", fmt_coord(p.lon), fmt_coord(p.lat));
+}
+
+fn write_coord_list(s: &mut String, pts: &[GeoPoint]) {
+    s.push('(');
+    for (i, p) in pts.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        write_point(s, p);
+    }
+    s.push(')');
+}
+
+fn write_polygon_body(s: &mut String, poly: &Polygon) {
+    s.push('(');
+    write_coord_list(s, &poly.exterior);
+    for h in &poly.holes {
+        s.push_str(", ");
+        write_coord_list(s, h);
+    }
+    s.push(')');
+}
+
+/// Formats a coordinate with up to six decimals, trimming trailing zeros so
+/// round numbers stay compact (`13.4` not `13.400000`).
+fn fmt_coord(v: f64) -> String {
+    let mut s = format!("{v:.6}");
+    if s.contains('.') {
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+    }
+    // Avoid the "-0" artifact.
+    if s == "-0" {
+        s = "0".to_string();
+    }
+    s
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> WktError {
+        WktError {
+            message: msg.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), WktError> {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        self.input[start..self.pos].to_ascii_uppercase()
+    }
+
+    /// Returns true (consuming) if the next keyword is `EMPTY`.
+    fn try_empty(&mut self) -> bool {
+        self.skip_ws();
+        let rest = &self.input[self.pos..];
+        if rest.len() >= 5 && rest[..5].eq_ignore_ascii_case("EMPTY") {
+            self.pos += 5;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, WktError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map_err(|e| WktError {
+                message: format!("bad number: {e}"),
+                offset: start,
+            })
+    }
+
+    fn coord(&mut self) -> Result<GeoPoint, WktError> {
+        let lon = self.number()?;
+        let lat = self.number()?;
+        if !lon.is_finite() || !lat.is_finite() {
+            return Err(self.err("non-finite coordinate"));
+        }
+        Ok(GeoPoint::raw(lon, lat))
+    }
+
+    fn coord_list(&mut self) -> Result<Vec<GeoPoint>, WktError> {
+        self.expect(b'(')?;
+        let mut pts = vec![self.coord()?];
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    pts.push(self.coord()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    return Ok(pts);
+                }
+                _ => return Err(self.err("expected ',' or ')' in coordinate list")),
+            }
+        }
+    }
+
+    fn polygon_body(&mut self) -> Result<Polygon, WktError> {
+        self.expect(b'(')?;
+        let exterior = self.coord_list()?;
+        let mut holes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    holes.push(self.coord_list()?);
+                }
+                Some(b')') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ')' in polygon body")),
+            }
+        }
+        if exterior.len() < 4 {
+            return Err(self.err("polygon ring needs at least 4 points (closed)"));
+        }
+        Ok(Polygon::new(exterior, holes))
+    }
+
+    fn parse_geometry(&mut self) -> Result<Geometry, WktError> {
+        let kw = self.keyword();
+        match kw.as_str() {
+            "POINT" => {
+                if self.try_empty() {
+                    return Err(self.err("POINT EMPTY is not representable"));
+                }
+                self.expect(b'(')?;
+                let p = self.coord()?;
+                self.expect(b')')?;
+                Ok(Geometry::Point(p))
+            }
+            "LINESTRING" => {
+                if self.try_empty() {
+                    return Ok(Geometry::LineString(LineString::new(vec![])));
+                }
+                Ok(Geometry::LineString(LineString::new(self.coord_list()?)))
+            }
+            "MULTILINESTRING" => {
+                if self.try_empty() {
+                    return Ok(Geometry::MultiLineString(MultiLineString::new(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut lines = vec![LineString::new(self.coord_list()?)];
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            lines.push(LineString::new(self.coord_list()?));
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected ',' or ')' in MULTILINESTRING")),
+                    }
+                }
+                Ok(Geometry::MultiLineString(MultiLineString::new(lines)))
+            }
+            "POLYGON" => {
+                if self.try_empty() {
+                    return Ok(Geometry::Polygon(Polygon::new(vec![], vec![])));
+                }
+                Ok(Geometry::Polygon(self.polygon_body()?))
+            }
+            "MULTIPOLYGON" => {
+                if self.try_empty() {
+                    return Ok(Geometry::MultiPolygon(MultiPolygon(vec![])));
+                }
+                self.expect(b'(')?;
+                let mut polys = vec![self.polygon_body()?];
+                loop {
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                            polys.push(self.polygon_body()?);
+                        }
+                        Some(b')') => {
+                            self.pos += 1;
+                            break;
+                        }
+                        _ => return Err(self.err("expected ',' or ')' in MULTIPOLYGON")),
+                    }
+                }
+                Ok(Geometry::MultiPolygon(MultiPolygon(polys)))
+            }
+            "" => Err(self.err("empty input")),
+            other => Err(self.err(&format!("unsupported geometry type '{other}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_point() {
+        let g = parse_wkt("POINT (-3.7038 40.4168)").unwrap();
+        match g {
+            Geometry::Point(p) => {
+                assert!((p.lon - -3.7038).abs() < 1e-9);
+                assert!((p.lat - 40.4168).abs() < 1e-9);
+            }
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn parse_point_case_insensitive_and_spacing() {
+        assert!(parse_wkt("point(1 2)").is_ok());
+        assert!(parse_wkt("  POINT  (  1   2  )  ").is_ok());
+    }
+
+    #[test]
+    fn parse_linestring() {
+        let g = parse_wkt("LINESTRING (0 0, 1 1, 2 0)").unwrap();
+        match g {
+            Geometry::LineString(ls) => assert_eq!(ls.0.len(), 3),
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn parse_multilinestring() {
+        let g = parse_wkt("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3, 4 4))").unwrap();
+        match g {
+            Geometry::MultiLineString(m) => {
+                assert_eq!(m.0.len(), 2);
+                assert_eq!(m.0[1].0.len(), 3);
+            }
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn parse_polygon_with_hole() {
+        let g = parse_wkt("POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))")
+            .unwrap();
+        match g {
+            Geometry::Polygon(p) => {
+                assert_eq!(p.holes.len(), 1);
+                assert!(p.contains(&GeoPoint::raw(1.0, 1.0)));
+                assert!(!p.contains(&GeoPoint::raw(5.0, 5.0)));
+            }
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn parse_multipolygon() {
+        let g = parse_wkt(
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))",
+        )
+        .unwrap();
+        match g {
+            Geometry::MultiPolygon(mp) => assert_eq!(mp.0.len(), 2),
+            _ => panic!("wrong type"),
+        }
+    }
+
+    #[test]
+    fn parse_empty_forms() {
+        assert!(matches!(
+            parse_wkt("LINESTRING EMPTY").unwrap(),
+            Geometry::LineString(ls) if ls.0.is_empty()
+        ));
+        assert!(matches!(
+            parse_wkt("MULTIPOLYGON EMPTY").unwrap(),
+            Geometry::MultiPolygon(mp) if mp.0.is_empty()
+        ));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_wkt("").is_err());
+        assert!(parse_wkt("CIRCLE (0 0)").is_err());
+        assert!(parse_wkt("POINT (1)").is_err());
+        assert!(parse_wkt("POINT (1 2) extra").is_err());
+        assert!(parse_wkt("LINESTRING (0 0, )").is_err());
+        assert!(parse_wkt("POLYGON ((0 0, 1 1))").is_err()); // ring too short
+        assert!(parse_wkt("POINT (nanna 2)").is_err());
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let e = parse_wkt("POINT (1 2) junk").unwrap_err();
+        assert!(e.offset >= 11, "offset was {}", e.offset);
+        assert!(e.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn roundtrip_point() {
+        let g = parse_wkt("POINT (13.405 52.52)").unwrap();
+        let s = to_wkt(&g);
+        assert_eq!(s, "POINT (13.405 52.52)");
+        assert_eq!(parse_wkt(&s).unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_scientific_notation_accepted() {
+        let g = parse_wkt("POINT (1e1 2.5E-1)").unwrap();
+        match g {
+            Geometry::Point(p) => {
+                assert!((p.lon - 10.0).abs() < 1e-12);
+                assert!((p.lat - 0.25).abs() < 1e-12);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn writer_trims_trailing_zeros() {
+        let g = Geometry::Point(GeoPoint::raw(1.5, -0.0));
+        assert_eq!(to_wkt(&g), "POINT (1.5 0)");
+    }
+
+    #[test]
+    fn roundtrip_polygon_preserves_structure() {
+        let src = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))";
+        let g = parse_wkt(src).unwrap();
+        let g2 = parse_wkt(&to_wkt(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+
+use igdb_geo::rtree::point_tree;
+use igdb_geo::{
+    haversine_km, parse_wkt, point_polyline_distance_km, to_wkt, voronoi_cells, BoundingBox,
+    GeoPoint, Geometry, LineString, Polygon,
+};
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-180.0f64..180.0, -85.0f64..85.0).prop_map(|(lon, lat)| GeoPoint::new(lon, lat))
+}
+
+fn arb_linestring() -> impl Strategy<Value = LineString> {
+    proptest::collection::vec(arb_point(), 2..12).prop_map(LineString::new)
+}
+
+fn arb_polygon() -> impl Strategy<Value = Polygon> {
+    // A star-shaped polygon around a centre: always simple and non-empty.
+    (arb_point(), 3usize..10, 0.5f64..5.0).prop_map(|(c, n, r)| {
+        let ring: Vec<GeoPoint> = (0..n)
+            .map(|i| {
+                let ang = i as f64 / n as f64 * std::f64::consts::TAU;
+                GeoPoint::raw(c.lon + r * ang.cos(), c.lat + r * ang.sin())
+            })
+            .collect();
+        Polygon::new(ring, vec![])
+    })
+}
+
+proptest! {
+    #[test]
+    fn haversine_symmetric_nonnegative(a in arb_point(), b in arb_point()) {
+        let d1 = haversine_km(&a, &b);
+        let d2 = haversine_km(&b, &a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        // Bounded by half the circumference.
+        prop_assert!(d1 <= std::f64::consts::PI * igdb_geo::EARTH_RADIUS_KM + 1.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = haversine_km(&a, &b);
+        let bc = haversine_km(&b, &c);
+        let ac = haversine_km(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-6, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn wkt_roundtrip_point(p in arb_point()) {
+        let g = Geometry::Point(p);
+        let back = parse_wkt(&to_wkt(&g)).unwrap();
+        match back {
+            Geometry::Point(q) => {
+                // Six decimals of precision ≈ 1e-6 degrees.
+                prop_assert!((p.lon - q.lon).abs() < 1e-5);
+                prop_assert!((p.lat - q.lat).abs() < 1e-5);
+            }
+            other => prop_assert!(false, "wrong type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wkt_roundtrip_linestring(ls in arb_linestring()) {
+        let g = Geometry::LineString(ls.clone());
+        let back = parse_wkt(&to_wkt(&g)).unwrap();
+        match back {
+            Geometry::LineString(l2) => {
+                prop_assert_eq!(l2.0.len(), ls.0.len());
+                for (a, b) in ls.0.iter().zip(&l2.0) {
+                    prop_assert!((a.lon - b.lon).abs() < 1e-5);
+                    prop_assert!((a.lat - b.lat).abs() < 1e-5);
+                }
+            }
+            other => prop_assert!(false, "wrong type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wkt_roundtrip_polygon(poly in arb_polygon()) {
+        let g = Geometry::Polygon(poly.clone());
+        let back = parse_wkt(&to_wkt(&g)).unwrap();
+        match back {
+            Geometry::Polygon(p2) => {
+                prop_assert_eq!(p2.exterior.len(), poly.exterior.len());
+            }
+            other => prop_assert!(false, "wrong type {other:?}"),
+        }
+    }
+
+    #[test]
+    fn polygon_centroid_inside_convex_star(poly in arb_polygon()) {
+        // Star polygons around a centre are convex-ish enough that the
+        // centroid lies inside.
+        let c = poly.centroid();
+        prop_assert!(poly.contains(&c), "centroid {c:?} outside polygon");
+    }
+
+    #[test]
+    fn bbox_contains_all_inputs(pts in proptest::collection::vec(arb_point(), 1..30)) {
+        let b = BoundingBox::from_points(pts.iter());
+        for p in &pts {
+            prop_assert!(b.contains(p));
+        }
+    }
+
+    #[test]
+    fn point_polyline_distance_bounded_by_vertex_distance(
+        p in arb_point(),
+        ls in arb_linestring(),
+    ) {
+        let d = point_polyline_distance_km(&p, &ls.0);
+        let min_vertex = ls
+            .0
+            .iter()
+            .map(|v| haversine_km(&p, v))
+            .fold(f64::INFINITY, f64::min);
+        // The segment distance can be smaller than any vertex distance but
+        // never (much) larger.
+        prop_assert!(d <= min_vertex + 1.0, "{d} > min vertex {min_vertex}");
+        prop_assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn voronoi_cells_respect_nearest_site(
+        sites in proptest::collection::vec(
+            (-50.0f64..50.0, -40.0f64..40.0).prop_map(|(x, y)| GeoPoint::raw(x, y)),
+            3..25,
+        ),
+        probe in (-45.0f64..45.0, -35.0f64..35.0).prop_map(|(x, y)| GeoPoint::raw(x, y)),
+    ) {
+        let clip = BoundingBox { min_lon: -60.0, min_lat: -50.0, max_lon: 60.0, max_lat: 50.0 };
+        let cells = voronoi_cells(&sites, &clip);
+        // Nearest site by planar distance.
+        let mut dists: Vec<(usize, f64)> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.planar_dist2(&probe)))
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        // Skip ties (probe near a bisector) — containment may go either way.
+        prop_assume!(dists.len() < 2 || dists[1].1 - dists[0].1 > 1e-6);
+        let nearest = dists[0].0;
+        for cell in &cells {
+            if cell.site == nearest {
+                prop_assert!(cell.polygon.contains(&probe), "probe missing from nearest cell");
+            } else {
+                prop_assert!(!cell.polygon.contains(&probe), "probe inside wrong cell {}", cell.site);
+            }
+        }
+    }
+
+    #[test]
+    fn rtree_bbox_query_matches_linear_scan(
+        pts in proptest::collection::vec(arb_point(), 1..200),
+        q in (arb_point(), arb_point()),
+    ) {
+        let query = BoundingBox {
+            min_lon: q.0.lon.min(q.1.lon),
+            min_lat: q.0.lat.min(q.1.lat),
+            max_lon: q.0.lon.max(q.1.lon),
+            max_lat: q.0.lat.max(q.1.lat),
+        };
+        let entries: Vec<(GeoPoint, usize)> =
+            pts.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = point_tree(entries);
+        let mut got: Vec<usize> = tree.query_bbox(&query).into_iter().copied().collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(p))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rtree_nearest_matches_linear_scan(
+        pts in proptest::collection::vec(arb_point(), 1..200),
+        probe in arb_point(),
+    ) {
+        let entries: Vec<(GeoPoint, usize)> =
+            pts.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+        let tree = point_tree(entries);
+        let (_, got_d2) = tree.nearest_by_center(&probe).unwrap();
+        let want_d2 = pts
+            .iter()
+            .map(|p| p.planar_dist2(&probe))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got_d2 - want_d2).abs() < 1e-9, "{got_d2} vs {want_d2}");
+    }
+
+    #[test]
+    fn corridor_membership_consistent_with_distance(
+        p in arb_point(),
+        ls in arb_linestring(),
+        radius in 1.0f64..2000.0,
+    ) {
+        let inside = igdb_geo::point_within_corridor(&p, &ls.0, radius);
+        let d = point_polyline_distance_km(&p, &ls.0);
+        prop_assert_eq!(inside, d <= radius);
+    }
+}

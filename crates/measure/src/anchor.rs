@@ -1,0 +1,144 @@
+//! RIPE-Atlas-style anchors and mesh measurement campaigns.
+//!
+//! "RIPE Internet Atlas is an Internet measurement platform with small
+//! probes installed in networks around the world … each probe has an
+//! associated IP address, ASN of the network that hosts the probe, as well
+//! as the approximate geographic location of the probe" (paper §2). Anchors
+//! are exactly that triple — (IP, ASN, location) — which is why the paper
+//! calls them "an important connection between the two layers". The mesh
+//! campaign mirrors the anchor-to-anchor traceroute meshes iGDB ingests.
+
+use igdb_geo::GeoPoint;
+use igdb_net::{Asn, Ip4};
+
+use crate::net::{RouterId, RouterNet};
+use crate::traceroute::{trace_route, Traceroute};
+
+/// A measurement anchor attached to a router.
+#[derive(Clone, Debug)]
+pub struct Anchor {
+    /// Stable anchor identifier (RIPE-style numeric id).
+    pub id: u32,
+    /// The anchor's own address (distinct from router interfaces).
+    pub ip: Ip4,
+    /// Hosting network.
+    pub asn: Asn,
+    /// Declared metro (city index in the caller's city table).
+    pub city: usize,
+    /// Declared coordinates.
+    pub loc: GeoPoint,
+    /// The router the anchor is wired to.
+    pub router: RouterId,
+}
+
+/// Runs a full anchor mesh: a traceroute from every anchor to every other
+/// anchor, using `as_path_of(src_asn, dst_asn)` to obtain the BGP path
+/// (return `None` for unreachable pairs — they are skipped, as real
+/// campaigns silently lose unroutable pairs).
+pub fn mesh_traceroutes<F>(
+    net: &RouterNet,
+    anchors: &[Anchor],
+    mut as_path_of: F,
+) -> Vec<(u32, u32, Traceroute)>
+where
+    F: FnMut(Asn, Asn) -> Option<Vec<Asn>>,
+{
+    let mut out = Vec::new();
+    for src in anchors {
+        for dst in anchors {
+            if src.id == dst.id {
+                continue;
+            }
+            let Some(path) = as_path_of(src.asn, dst.asn) else {
+                continue;
+            };
+            if let Some(tr) = trace_route(net, src.router, dst.router, Some(&path)) {
+                out.push((src.id, dst.id, tr));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ip4 {
+        s.parse().unwrap()
+    }
+
+    /// Two ASes, two cities each, anchors at the ends.
+    fn world() -> (RouterNet, Vec<Anchor>) {
+        let mut net = RouterNet::new();
+        let a = net.add_router(Asn(1), 0, GeoPoint::new(0.0, 0.0));
+        let b = net.add_router(Asn(1), 1, GeoPoint::new(1.0, 0.0));
+        let c = net.add_router(Asn(2), 2, GeoPoint::new(2.0, 0.0));
+        let d = net.add_router(Asn(2), 3, GeoPoint::new(3.0, 0.0));
+        net.add_link(a, b, ip("10.0.0.1"), ip("10.0.0.2"), 0.5, 100.0);
+        net.add_link(b, c, ip("10.0.1.1"), ip("10.0.1.2"), 0.6, 120.0);
+        net.add_link(c, d, ip("10.0.2.1"), ip("10.0.2.2"), 0.7, 140.0);
+        let anchors = vec![
+            Anchor {
+                id: 1,
+                ip: ip("192.0.2.1"),
+                asn: Asn(1),
+                city: 0,
+                loc: GeoPoint::new(0.0, 0.0),
+                router: a,
+            },
+            Anchor {
+                id: 2,
+                ip: ip("192.0.2.2"),
+                asn: Asn(2),
+                city: 3,
+                loc: GeoPoint::new(3.0, 0.0),
+                router: d,
+            },
+        ];
+        (net, anchors)
+    }
+
+    #[test]
+    fn mesh_runs_all_ordered_pairs() {
+        let (net, anchors) = world();
+        let mesh = mesh_traceroutes(&net, &anchors, |s, d| {
+            if s == d {
+                Some(vec![s])
+            } else {
+                Some(vec![s, d])
+            }
+        });
+        assert_eq!(mesh.len(), 2); // 1→2 and 2→1
+        let ids: Vec<(u32, u32)> = mesh.iter().map(|(s, d, _)| (*s, *d)).collect();
+        assert!(ids.contains(&(1, 2)));
+        assert!(ids.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn unroutable_pairs_skipped() {
+        let (net, anchors) = world();
+        let mesh = mesh_traceroutes(&net, &anchors, |s, _| {
+            if s == Asn(1) {
+                None // AS1 cannot reach anyone
+            } else {
+                Some(vec![Asn(2), Asn(1)])
+            }
+        });
+        assert_eq!(mesh.len(), 1);
+        assert_eq!((mesh[0].0, mesh[0].1), (2, 1));
+    }
+
+    #[test]
+    fn mesh_traceroutes_are_symmetadirectional() {
+        // Forward and reverse traceroutes traverse the same routers in
+        // opposite order in this symmetric-cost topology.
+        let (net, anchors) = world();
+        let mesh = mesh_traceroutes(&net, &anchors, |s, d| Some(vec![s, d]));
+        let fwd = &mesh.iter().find(|(s, _, _)| *s == 1).unwrap().2;
+        let rev = &mesh.iter().find(|(s, _, _)| *s == 2).unwrap().2;
+        let mut rp = rev.truth_path.clone();
+        rp.reverse();
+        assert_eq!(fwd.truth_path, rp);
+    }
+}

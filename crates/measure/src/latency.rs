@@ -1,0 +1,89 @@
+//! Latency model: distance-derived propagation plus per-hop processing.
+//!
+//! The paper's §4.4 belief propagation hinges on latency being dominated by
+//! fiber propagation: "If the observed differential latency between IP_A
+//! and IP_B is less than 2 ms … we infer that IP_A is in the same location
+//! as IP_B". That inference is sound exactly because light in fiber covers
+//! ~100 km per millisecond one way; this module encodes that physics.
+
+use igdb_geo::{haversine_km, GeoPoint};
+
+/// One-way kilometres of fiber covered per millisecond (c / refractive
+/// index ≈ 299,792 / 1.468 ≈ 204,000 km/s ≈ 204 km/ms; we use the round
+/// planning number 200).
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// Fiber path stretch: cable routes are longer than great circles because
+/// they follow rights-of-way. Applied when only endpoint coordinates are
+/// known (links with explicit path lengths don't need it).
+pub const DEFAULT_PATH_STRETCH: f64 = 1.2;
+
+/// One-way propagation delay over `km` of fiber, in milliseconds.
+pub fn propagation_delay_ms(km: f64) -> f64 {
+    km.max(0.0) / FIBER_KM_PER_MS
+}
+
+/// One-way propagation delay between two points assuming a stretched
+/// great-circle fiber path.
+pub fn propagation_between_ms(a: &GeoPoint, b: &GeoPoint) -> f64 {
+    propagation_delay_ms(haversine_km(a, b) * DEFAULT_PATH_STRETCH)
+}
+
+/// Deterministic per-router processing/queueing delay in milliseconds,
+/// derived from the router id so repeated runs are identical. Spread is
+/// 0.05–0.55 ms, far below the 2 ms metro threshold.
+pub fn processing_delay_ms(router_seed: u32) -> f64 {
+    // xorshift-style scramble to decorrelate adjacent ids.
+    let mut x = router_seed.wrapping_mul(2654435761).wrapping_add(1);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0x5bd1e995);
+    x ^= x >> 15;
+    0.05 + (x % 1000) as f64 / 2000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_km_is_half_ms() {
+        assert!((propagation_delay_ms(100.0) - 0.5).abs() < 1e-12);
+        assert_eq!(propagation_delay_ms(-5.0), 0.0);
+    }
+
+    #[test]
+    fn transatlantic_scale() {
+        // New York – London ≈ 5,570 km great circle; one-way with stretch
+        // ≈ 33 ms, RTT ≈ 67 ms — matches the well-known ~70 ms figure.
+        let ny = GeoPoint::new(-74.0060, 40.7128);
+        let ldn = GeoPoint::new(-0.1278, 51.5074);
+        let one_way = propagation_between_ms(&ny, &ldn);
+        assert!(one_way > 25.0 && one_way < 40.0, "got {one_way}");
+    }
+
+    #[test]
+    fn metro_scale_is_below_inference_threshold() {
+        // Two points 30 km apart: differential RTT must be well under the
+        // paper's 2 ms same-metro boundary.
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.27, 0.0); // ~30 km
+        assert!(2.0 * propagation_between_ms(&a, &b) < 0.5);
+    }
+
+    #[test]
+    fn processing_delay_bounded_and_deterministic() {
+        for seed in 0..500u32 {
+            let d = processing_delay_ms(seed);
+            assert!((0.05..=0.55).contains(&d), "seed {seed}: {d}");
+            assert_eq!(d, processing_delay_ms(seed));
+        }
+    }
+
+    #[test]
+    fn processing_delay_varies_across_routers() {
+        let distinct: std::collections::HashSet<u64> = (0..100u32)
+            .map(|s| processing_delay_ms(s).to_bits())
+            .collect();
+        assert!(distinct.len() > 50, "delays should be well spread");
+    }
+}

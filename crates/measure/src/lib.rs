@@ -1,0 +1,33 @@
+//! `igdb-measure` — the active-measurement substrate of iGDB.
+//!
+//! The paper's logical-to-physical analyses (§4.2, §4.4, §4.5) consume RIPE
+//! Atlas anchor-mesh traceroutes. RIPE Atlas is a physical deployment we
+//! cannot reach, so this crate simulates it faithfully enough to exercise
+//! the same code paths:
+//!
+//! * [`net`] — a router-level network: routers owned by ASes and pinned to
+//!   cities, links with interface addresses on both ends.
+//! * [`latency`] — propagation delay from great-circle distance at the
+//!   speed of light in fiber, plus per-hop processing delay.
+//! * [`traceroute`] — TTL-semantics path measurement over the router
+//!   graph, constrained to a supplied BGP AS path, with the two
+//!   pathologies the paper handles: **unresponsive hops** (no ICMP reply)
+//!   and **MPLS tunnels** (interior routers invisible to TTL expiry —
+//!   "nodes that appear directly connected at the IP layer may be
+//!   separated by additional nodes hidden by MPLS", §4.2).
+//! * [`anchor`] — RIPE-Atlas-style anchors and full-mesh measurement
+//!   campaigns.
+//!
+//! Each simulated hop records its *ground-truth* router so tests and the
+//! §4.4 consistency evaluation can score inferences; iGDB's analysis code
+//! never reads that field.
+
+pub mod anchor;
+pub mod latency;
+pub mod net;
+pub mod traceroute;
+
+pub use anchor::{mesh_traceroutes, Anchor};
+pub use latency::{processing_delay_ms, propagation_delay_ms, FIBER_KM_PER_MS};
+pub use net::{LinkId, Router, RouterId, RouterLink, RouterNet};
+pub use traceroute::{trace_route, Traceroute, TracerouteHop};

@@ -1,0 +1,250 @@
+//! Router-level network model.
+//!
+//! Routers belong to ASes and sit in cities (the physical anchor iGDB
+//! exploits); links carry one interface address per end — the address a
+//! traceroute probe sees when the far router's TTL expires. Interface
+//! numbering follows the real-world convention the paper leans on for IP→AS
+//! mapping headaches: *the link subnet is allocated by one of the two ASes*,
+//! so a border router often answers from address space of its neighbour
+//! ("a link between two ASes is usually assigned IP addresses from one of
+//! the ASes", §3.3).
+
+use std::collections::HashMap;
+
+use igdb_geo::GeoPoint;
+use igdb_net::{Asn, Ip4};
+
+/// Dense router handle.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RouterId(pub u32);
+
+/// Dense link handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// A router: owned by an AS, pinned to a city.
+#[derive(Clone, Debug)]
+pub struct Router {
+    pub id: RouterId,
+    pub asn: Asn,
+    /// Caller-defined city index (iGDB standard-metro id).
+    pub city: usize,
+    pub loc: GeoPoint,
+    /// Whether the router answers traceroute probes with ICMP TTL-expired.
+    pub responds: bool,
+    /// Whether the router is interior to an MPLS LSP and therefore hidden
+    /// from traceroute (§4.2's hidden intermediate nodes).
+    pub mpls_hidden: bool,
+}
+
+/// A bidirectional link with per-end interface addresses.
+#[derive(Clone, Debug)]
+pub struct RouterLink {
+    pub id: LinkId,
+    pub a: RouterId,
+    pub b: RouterId,
+    /// Interface address on router `a` (facing `b`), and vice versa.
+    pub a_ip: Ip4,
+    pub b_ip: Ip4,
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// Great-circle length of the physical path this link follows, km.
+    pub length_km: f64,
+}
+
+/// The router graph.
+pub struct RouterNet {
+    routers: Vec<Router>,
+    links: Vec<RouterLink>,
+    /// router -> [(neighbor, link)]
+    adj: Vec<Vec<(RouterId, LinkId)>>,
+    /// interface ip -> owning router
+    iface_owner: HashMap<Ip4, RouterId>,
+}
+
+impl Default for RouterNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouterNet {
+    pub fn new() -> Self {
+        Self {
+            routers: Vec::new(),
+            links: Vec::new(),
+            adj: Vec::new(),
+            iface_owner: HashMap::new(),
+        }
+    }
+
+    /// Adds a router and returns its id.
+    pub fn add_router(&mut self, asn: Asn, city: usize, loc: GeoPoint) -> RouterId {
+        let id = RouterId(self.routers.len() as u32);
+        self.routers.push(Router {
+            id,
+            asn,
+            city,
+            loc,
+            responds: true,
+            mpls_hidden: false,
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Marks a router unresponsive to traceroute.
+    pub fn set_responds(&mut self, r: RouterId, responds: bool) {
+        self.routers[r.0 as usize].responds = responds;
+    }
+
+    /// Marks a router as MPLS-interior (hidden from traceroute).
+    pub fn set_mpls_hidden(&mut self, r: RouterId, hidden: bool) {
+        self.routers[r.0 as usize].mpls_hidden = hidden;
+    }
+
+    /// Connects two routers. `a_ip`/`b_ip` are the interface addresses
+    /// probes will see. Panics on self-links (a modelling bug).
+    pub fn add_link(
+        &mut self,
+        a: RouterId,
+        b: RouterId,
+        a_ip: Ip4,
+        b_ip: Ip4,
+        delay_ms: f64,
+        length_km: f64,
+    ) -> LinkId {
+        assert_ne!(a, b, "self-link on {a:?}");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(RouterLink {
+            id,
+            a,
+            b,
+            a_ip,
+            b_ip,
+            delay_ms,
+            length_km,
+        });
+        self.adj[a.0 as usize].push((b, id));
+        self.adj[b.0 as usize].push((a, id));
+        self.iface_owner.insert(a_ip, a);
+        self.iface_owner.insert(b_ip, b);
+        id
+    }
+
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.0 as usize]
+    }
+
+    pub fn link(&self, id: LinkId) -> &RouterLink {
+        &self.links[id.0 as usize]
+    }
+
+    pub fn routers(&self) -> &[Router] {
+        &self.routers
+    }
+
+    pub fn links(&self) -> &[RouterLink] {
+        &self.links
+    }
+
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Neighbours of a router with the connecting link.
+    pub fn neighbors(&self, r: RouterId) -> &[(RouterId, LinkId)] {
+        &self.adj[r.0 as usize]
+    }
+
+    /// The router owning an interface address.
+    pub fn owner_of(&self, ip: Ip4) -> Option<RouterId> {
+        self.iface_owner.get(&ip).copied()
+    }
+
+    /// The interface address of `on` facing `toward` across `link`.
+    pub fn iface_on(&self, link: LinkId, on: RouterId) -> Ip4 {
+        let l = self.link(link);
+        if l.a == on {
+            l.a_ip
+        } else {
+            debug_assert_eq!(l.b, on);
+            l.b_ip
+        }
+    }
+
+    /// Routers of one AS, sorted by id.
+    pub fn routers_of(&self, asn: Asn) -> Vec<RouterId> {
+        self.routers
+            .iter()
+            .filter(|r| r.asn == asn)
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ip4 {
+        s.parse().unwrap()
+    }
+
+    fn two_router_net() -> (RouterNet, RouterId, RouterId, LinkId) {
+        let mut net = RouterNet::new();
+        let a = net.add_router(Asn(174), 0, GeoPoint::new(0.0, 0.0));
+        let b = net.add_router(Asn(174), 1, GeoPoint::new(1.0, 0.0));
+        let l = net.add_link(a, b, ip("10.0.0.1"), ip("10.0.0.2"), 0.5, 111.0);
+        (net, a, b, l)
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional() {
+        let (net, a, b, l) = two_router_net();
+        assert_eq!(net.neighbors(a), &[(b, l)]);
+        assert_eq!(net.neighbors(b), &[(a, l)]);
+    }
+
+    #[test]
+    fn interface_ownership() {
+        let (net, a, b, l) = two_router_net();
+        assert_eq!(net.owner_of(ip("10.0.0.1")), Some(a));
+        assert_eq!(net.owner_of(ip("10.0.0.2")), Some(b));
+        assert_eq!(net.owner_of(ip("10.0.0.3")), None);
+        assert_eq!(net.iface_on(l, a), ip("10.0.0.1"));
+        assert_eq!(net.iface_on(l, b), ip("10.0.0.2"));
+    }
+
+    #[test]
+    fn routers_of_filters_by_asn() {
+        let mut net = RouterNet::new();
+        let a = net.add_router(Asn(1), 0, GeoPoint::new(0.0, 0.0));
+        let _b = net.add_router(Asn(2), 0, GeoPoint::new(0.0, 0.0));
+        let c = net.add_router(Asn(1), 1, GeoPoint::new(1.0, 0.0));
+        assert_eq!(net.routers_of(Asn(1)), vec![a, c]);
+        assert!(net.routers_of(Asn(999)).is_empty());
+    }
+
+    #[test]
+    fn flags_settable() {
+        let (mut net, a, _, _) = two_router_net();
+        assert!(net.router(a).responds);
+        net.set_responds(a, false);
+        assert!(!net.router(a).responds);
+        net.set_mpls_hidden(a, true);
+        assert!(net.router(a).mpls_hidden);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-link")]
+    fn self_link_panics() {
+        let mut net = RouterNet::new();
+        let a = net.add_router(Asn(1), 0, GeoPoint::new(0.0, 0.0));
+        net.add_link(a, a, ip("10.0.0.1"), ip("10.0.0.2"), 0.1, 1.0);
+    }
+}

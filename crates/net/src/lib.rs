@@ -1,0 +1,28 @@
+//! `igdb-net` — the logical-layer substrate of iGDB.
+//!
+//! The paper's logical topology comes from two machineries this crate
+//! rebuilds from scratch:
+//!
+//! * **Addressing** ([`ip`], [`trie`]) — IPv4 addresses and prefixes, plus
+//!   a binary radix trie for longest-prefix matching. This is the substrate
+//!   under the bdrmapIT-style IP→AS mapping of §3.2 step (1).
+//! * **Inter-domain routing** ([`asn`], [`bgp`], [`collector`]) — an AS
+//!   graph with Gao–Rexford business relationships, valley-free route
+//!   propagation, and route collectors that observe AS paths the way
+//!   RouteViews / RIPE RIS do. CAIDA's AS Rank — the paper's source for the
+//!   `asn_conn` relation — is "the aggregation of all the RouteViews and
+//!   RIPE RIS BGP announcements" (§2); [`collector`] performs exactly that
+//!   aggregation over simulated announcements, including customer-cone
+//!   ranking.
+
+pub mod asn;
+pub mod bgp;
+pub mod collector;
+pub mod ip;
+pub mod trie;
+
+pub use asn::{AsGraph, AsRelationship, Asn, Tier};
+pub use bgp::{propagate_routes, Propagator, Route, RouteKind, RouteTable};
+pub use collector::{aggregate_paths, customer_cones, CollectedPaths};
+pub use ip::{Ip4, ParseIpError, Prefix};
+pub use trie::PrefixTrie;

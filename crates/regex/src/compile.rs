@@ -1,0 +1,220 @@
+//! AST → NFA program for the Pike VM.
+
+use crate::parse::{Ast, CharClass};
+
+/// One character-consuming predicate.
+#[derive(Clone, Debug)]
+pub enum CharPred {
+    Literal(char),
+    /// `.` — anything but `\n`.
+    Dot,
+    Class(CharClass),
+}
+
+impl CharPred {
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharPred::Literal(l) => *l == c,
+            CharPred::Dot => c != '\n',
+            CharPred::Class(cc) => cc.matches(c),
+        }
+    }
+}
+
+/// NFA instruction. `Split` tries the first branch with higher priority,
+/// which is what makes repetition greedy (loop branch first) or lazy (exit
+/// branch first).
+#[derive(Clone, Debug)]
+pub enum Inst {
+    Char(CharPred),
+    Split(usize, usize),
+    Jmp(usize),
+    /// Store the current position into a capture slot.
+    Save(usize),
+    /// `^` — succeeds only at position 0.
+    AssertStart,
+    /// `$` — succeeds only at end of input.
+    AssertEnd,
+    Match,
+}
+
+/// A compiled program.
+pub struct Program {
+    pub insts: Vec<Inst>,
+    /// Number of capture groups (excluding group 0).
+    pub groups: usize,
+    /// Number of save slots (2 per group, including group 0).
+    pub slots: usize,
+}
+
+/// Compiles an AST, wrapping it in group 0: `Save(0) body Save(1) Match`.
+pub fn compile(ast: &Ast) -> Program {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        max_group: 0,
+    };
+    c.insts.push(Inst::Save(0));
+    c.emit(ast);
+    c.insts.push(Inst::Save(1));
+    c.insts.push(Inst::Match);
+    let groups = c.max_group;
+    Program {
+        insts: c.insts,
+        groups,
+        slots: 2 * (groups + 1),
+    }
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    max_group: usize,
+}
+
+impl Compiler {
+    fn emit(&mut self, ast: &Ast) {
+        match ast {
+            Ast::Empty => {}
+            Ast::Literal(c) => self.insts.push(Inst::Char(CharPred::Literal(*c))),
+            Ast::Dot => self.insts.push(Inst::Char(CharPred::Dot)),
+            Ast::Class(cc) => self.insts.push(Inst::Char(CharPred::Class(cc.clone()))),
+            Ast::AnchorStart => self.insts.push(Inst::AssertStart),
+            Ast::AnchorEnd => self.insts.push(Inst::AssertEnd),
+            Ast::Concat(items) => {
+                for item in items {
+                    self.emit(item);
+                }
+            }
+            Ast::Alt(alts) => self.emit_alt(alts),
+            Ast::Group(idx, inner) => {
+                self.max_group = self.max_group.max(*idx);
+                self.insts.push(Inst::Save(2 * idx));
+                self.emit(inner);
+                self.insts.push(Inst::Save(2 * idx + 1));
+            }
+            Ast::NonCapGroup(inner) => self.emit(inner),
+            Ast::Repeat {
+                node,
+                min,
+                max,
+                greedy,
+            } => self.emit_repeat(node, *min, *max, *greedy),
+        }
+    }
+
+    fn emit_alt(&mut self, alts: &[Ast]) {
+        // alt := a | b | c compiles to a chain of Splits with Jmps to a
+        // common exit.
+        let mut jmp_fixups = Vec::new();
+        for (i, alt) in alts.iter().enumerate() {
+            if i + 1 < alts.len() {
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split(0, 0)); // fixed below
+                self.emit(alt);
+                jmp_fixups.push(self.insts.len());
+                self.insts.push(Inst::Jmp(0)); // fixed below
+                let next_branch = self.insts.len();
+                self.insts[split_at] = Inst::Split(split_at + 1, next_branch);
+            } else {
+                self.emit(alt);
+            }
+        }
+        let end = self.insts.len();
+        for j in jmp_fixups {
+            self.insts[j] = Inst::Jmp(end);
+        }
+    }
+
+    fn emit_repeat(&mut self, node: &Ast, min: u32, max: Option<u32>, greedy: bool) {
+        // Required copies.
+        for _ in 0..min {
+            self.emit(node);
+        }
+        match max {
+            None => {
+                // Unbounded tail: a star loop.
+                let split_at = self.insts.len();
+                self.insts.push(Inst::Split(0, 0));
+                self.emit(node);
+                self.insts.push(Inst::Jmp(split_at));
+                let after = self.insts.len();
+                self.insts[split_at] = if greedy {
+                    Inst::Split(split_at + 1, after)
+                } else {
+                    Inst::Split(after, split_at + 1)
+                };
+            }
+            Some(maxn) => {
+                // (max - min) optional copies, each individually skippable
+                // to a common exit.
+                let optional = maxn.saturating_sub(min);
+                let mut split_fixups = Vec::new();
+                for _ in 0..optional {
+                    let split_at = self.insts.len();
+                    self.insts.push(Inst::Split(0, 0));
+                    split_fixups.push(split_at);
+                    self.emit(node);
+                }
+                let end = self.insts.len();
+                for s in split_fixups {
+                    self.insts[s] = if greedy {
+                        Inst::Split(s + 1, end)
+                    } else {
+                        Inst::Split(end, s + 1)
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn prog(pat: &str) -> Program {
+        compile(&parse(pat).unwrap())
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        // Save(0) Char(a) Char(b) Save(1) Match
+        assert_eq!(p.insts.len(), 5);
+        assert!(matches!(p.insts[0], Inst::Save(0)));
+        assert!(matches!(p.insts[4], Inst::Match));
+        assert_eq!(p.groups, 0);
+        assert_eq!(p.slots, 2);
+    }
+
+    #[test]
+    fn group_slots_counted() {
+        let p = prog("(a)(b)");
+        assert_eq!(p.groups, 2);
+        assert_eq!(p.slots, 6);
+    }
+
+    #[test]
+    fn split_targets_in_range() {
+        for pat in ["a*", "a+?", "(ab|cd)+", "x{2,5}", "a{3,}", "(a|b|c)?"] {
+            let p = prog(pat);
+            for inst in &p.insts {
+                match inst {
+                    Inst::Split(a, b) => {
+                        assert!(*a < p.insts.len() && *b < p.insts.len(), "{pat}: {inst:?}");
+                    }
+                    Inst::Jmp(t) => assert!(*t < p.insts.len(), "{pat}: {inst:?}"),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn char_pred_semantics() {
+        assert!(CharPred::Literal('a').matches('a'));
+        assert!(!CharPred::Literal('a').matches('b'));
+        assert!(CharPred::Dot.matches('x'));
+        assert!(!CharPred::Dot.matches('\n'));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests: the Pike VM against a naive backtracking
+//! reference matcher over a restricted pattern grammar.
+
+use proptest::prelude::*;
+
+use igdb_regex::Regex;
+
+/// A restricted pattern AST we can both render as pattern text and match
+/// naively.
+#[derive(Clone, Debug)]
+enum Pat {
+    Lit(char),
+    Dot,
+    Class(Vec<char>, bool),
+    Star(Box<Pat>),
+    Plus(Box<Pat>),
+    Opt(Box<Pat>),
+    Concat(Vec<Pat>),
+    Alt(Box<Pat>, Box<Pat>),
+}
+
+fn render(p: &Pat) -> String {
+    match p {
+        Pat::Lit(c) => c.to_string(),
+        Pat::Dot => ".".to_string(),
+        Pat::Class(chars, neg) => format!(
+            "[{}{}]",
+            if *neg { "^" } else { "" },
+            chars.iter().collect::<String>()
+        ),
+        Pat::Star(inner) => format!("(?:{})*", render(inner)),
+        Pat::Plus(inner) => format!("(?:{})+", render(inner)),
+        Pat::Opt(inner) => format!("(?:{})?", render(inner)),
+        Pat::Concat(items) => items.iter().map(render).collect(),
+        Pat::Alt(a, b) => format!("(?:{}|{})", render(a), render(b)),
+    }
+}
+
+/// Naive recursive matcher: can `p` match some prefix of `text`, returning
+/// all possible remainder suff indexes?
+fn match_ends(p: &Pat, text: &[char], start: usize, out: &mut Vec<usize>) {
+    match p {
+        Pat::Lit(c) => {
+            if text.get(start) == Some(c) {
+                out.push(start + 1);
+            }
+        }
+        Pat::Dot => {
+            if start < text.len() && text[start] != '\n' {
+                out.push(start + 1);
+            }
+        }
+        Pat::Class(chars, neg) => {
+            if let Some(&c) = text.get(start) {
+                if chars.contains(&c) != *neg {
+                    out.push(start + 1);
+                }
+            }
+        }
+        Pat::Opt(inner) => {
+            out.push(start);
+            match_ends(inner, text, start, out);
+        }
+        Pat::Star(inner) => {
+            let mut frontier = vec![start];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(pos) = frontier.pop() {
+                if !seen.insert(pos) {
+                    continue;
+                }
+                out.push(pos);
+                let mut next = Vec::new();
+                match_ends(inner, text, pos, &mut next);
+                frontier.extend(next.into_iter().filter(|&e| e > pos));
+            }
+        }
+        Pat::Plus(inner) => {
+            let mut first = Vec::new();
+            match_ends(inner, text, start, &mut first);
+            for e in first {
+                let star = Pat::Star(inner.clone());
+                match_ends(&star, text, e, out);
+            }
+        }
+        Pat::Concat(items) => {
+            let mut frontier = vec![start];
+            for item in items {
+                let mut next = Vec::new();
+                for &pos in &frontier {
+                    match_ends(item, text, pos, &mut next);
+                }
+                next.sort_unstable();
+                next.dedup();
+                frontier = next;
+                if frontier.is_empty() {
+                    return;
+                }
+            }
+            out.extend(frontier);
+        }
+        Pat::Alt(a, b) => {
+            match_ends(a, text, start, out);
+            match_ends(b, text, start, out);
+        }
+    }
+}
+
+fn naive_is_match(p: &Pat, text: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    for start in 0..=chars.len() {
+        let mut out = Vec::new();
+        match_ends(p, &chars, start, &mut out);
+        if !out.is_empty() {
+            return true;
+        }
+    }
+    false
+}
+
+fn arb_pat() -> impl Strategy<Value = Pat> {
+    let alphabet = prop_oneof![Just('a'), Just('b'), Just('c')];
+    let leaf = prop_oneof![
+        alphabet.clone().prop_map(Pat::Lit),
+        Just(Pat::Dot),
+        proptest::collection::vec(alphabet, 1..3)
+            .prop_flat_map(|cs| any::<bool>().prop_map(move |neg| Pat::Class(cs.clone(), neg))),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|p| Pat::Star(Box::new(p))),
+            inner.clone().prop_map(|p| Pat::Plus(Box::new(p))),
+            inner.clone().prop_map(|p| Pat::Opt(Box::new(p))),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Pat::Concat),
+            (inner.clone(), inner).prop_map(|(a, b)| Pat::Alt(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_agrees_with_naive_matcher(
+        pat in arb_pat(),
+        text in r#"[abcd]{0,10}"#,
+    ) {
+        let source = render(&pat);
+        let re = Regex::new(&source).unwrap_or_else(|e| panic!("{source}: {e}"));
+        let got = re.is_match(&text);
+        let want = naive_is_match(&pat, &text);
+        prop_assert_eq!(got, want, "pattern {} on {:?}", source, text);
+    }
+
+    #[test]
+    fn literal_text_always_matches_itself(text in r#"[a-z0-9]{1,16}"#) {
+        let re = Regex::new(&text).unwrap();
+        prop_assert!(re.is_match(&text));
+        prop_assert_eq!(re.find(&text).map(|(s, _, _)| s), Some(0));
+    }
+
+    #[test]
+    fn anchored_literal_rejects_prefixed(text in r#"[a-z]{1,12}"#) {
+        let re = Regex::new(&format!("^{text}$")).unwrap();
+        prop_assert!(re.is_match(&text));
+        let prefixed = format!("x{}", text);
+        let suffixed = format!("{}x", text);
+        prop_assert!(!re.is_match(&prefixed));
+        prop_assert!(!re.is_match(&suffixed));
+    }
+
+    #[test]
+    fn match_span_is_a_real_substring(
+        pat in arb_pat(),
+        text in r#"[abc]{0,12}"#,
+    ) {
+        let re = Regex::new(&render(&pat)).unwrap();
+        if let Some((s, e, m)) = re.find(&text) {
+            prop_assert!(s <= e && e <= text.len());
+            prop_assert_eq!(m, &text[s..e]);
+        }
+    }
+}

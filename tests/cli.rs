@@ -1,0 +1,162 @@
+//! Integration tests for the `igdb` command-line toolkit, driving the real
+//! binary end to end (build → tables → query → metro → export).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn igdb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_igdb"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igdb_cli_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds one shared database for all CLI tests (the build step dominates
+/// runtime).
+fn built_db() -> PathBuf {
+    static ONCE: std::sync::OnceLock<PathBuf> = std::sync::OnceLock::new();
+    ONCE.get_or_init(|| {
+        let dir = tempdir("shared");
+        let db = dir.join("db");
+        let out = igdb()
+            .args(["build", "--out"])
+            .arg(&db)
+            .args(["--scale", "tiny", "--mesh", "100"])
+            .output()
+            .expect("run igdb build");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        db
+    })
+    .clone()
+}
+
+#[test]
+fn tables_lists_all_relations() {
+    let db = built_db();
+    let out = igdb().args(["tables", "--db"]).arg(&db).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for table in ["phys_nodes", "phys_conn", "asn_loc", "ip_asn_dns", "city_polygons"] {
+        assert!(text.contains(table), "missing {table} in:\n{text}");
+    }
+}
+
+#[test]
+fn query_filters_and_projects() {
+    let db = built_db();
+    let out = igdb()
+        .args(["query", "--db"])
+        .arg(&db)
+        .args([
+            "--table",
+            "asn_loc",
+            "--where",
+            "asn=64174",
+            "--select",
+            "asn,metro",
+            "--limit",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("asn\tmetro"));
+    let rows: Vec<&str> = lines.collect();
+    assert!(!rows.is_empty() && rows.len() <= 5, "{rows:?}");
+    for row in rows {
+        assert!(row.starts_with("64174\t"), "{row}");
+    }
+}
+
+#[test]
+fn query_order_desc() {
+    let db = built_db();
+    let out = igdb()
+        .args(["query", "--db"])
+        .arg(&db)
+        .args([
+            "--table",
+            "phys_conn",
+            "--select",
+            "distance_km",
+            "--order",
+            "distance_km:desc",
+            "--limit",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let values: Vec<f64> = text
+        .lines()
+        .skip(1)
+        .map(|l| l.trim().parse().unwrap())
+        .collect();
+    assert!(values.len() >= 2);
+    for w in values.windows(2) {
+        assert!(w[0] >= w[1], "{values:?}");
+    }
+}
+
+#[test]
+fn metro_standardizes_a_coordinate() {
+    let db = built_db();
+    // A point in suburban Kansas City.
+    let out = igdb()
+        .args(["metro", "--db"])
+        .arg(&db)
+        .args(["--lon", "-94.65", "--lat", "39.05"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("-US") && text.contains("km from the city point"),
+        "{text}"
+    );
+}
+
+#[test]
+fn export_writes_geojson() {
+    let db = built_db();
+    let file = db.parent().unwrap().join("map.geojson");
+    let out = igdb()
+        .args(["export", "--db"])
+        .arg(&db)
+        .args(["--out"])
+        .arg(&file)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let doc = std::fs::read_to_string(&file).unwrap();
+    assert!(doc.starts_with("{\"type\":\"FeatureCollection\""));
+    assert!(doc.contains("\"layer\":\"nodes\""));
+    assert!(doc.contains("\"layer\":\"cables\""));
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = igdb().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = igdb().args(["query", "--db", "/nonexistent", "--table", "x"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let db = built_db();
+    let out = igdb()
+        .args(["query", "--db"])
+        .arg(&db)
+        .args(["--table", "no_such_table"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no such table"));
+}

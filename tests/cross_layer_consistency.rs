@@ -1,0 +1,208 @@
+//! Cross-layer invariants: the properties that make iGDB "consistent
+//! across layers" (the paper's organizing principle), checked against the
+//! synthetic world's ground truth.
+
+use igdb_core::Igdb;
+use igdb_geo::GeoPoint;
+use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+fn build() -> (World, Igdb) {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 400);
+    let igdb = Igdb::build(&snaps);
+    (world, igdb)
+}
+
+#[test]
+fn thiessen_polygons_agree_with_nearest_site_assignment() {
+    // The defining standardization property, checked on real node
+    // coordinates rather than synthetic probes.
+    let (_, igdb) = build();
+    let polys = igdb.metros.polygons();
+    let mut checked = 0;
+    igdb.db
+        .with_table("phys_nodes", |t| {
+            for (_, row) in t.iter().take(150) {
+                let lat = row[6].as_float().unwrap();
+                let lon = row[7].as_float().unwrap();
+                let p = GeoPoint::new(lon, lat);
+                let assigned = row[3].as_int().unwrap() as usize;
+                // The assigned metro's polygon must contain the point
+                // (boundary ties excluded by construction jitter).
+                if polys[assigned].contains(&p) {
+                    checked += 1;
+                }
+            }
+        })
+        .unwrap();
+    assert!(checked >= 140, "only {checked}/150 nodes inside their cell");
+}
+
+#[test]
+fn stored_path_geometry_matches_stored_distance() {
+    let (_, igdb) = build();
+    igdb.db
+        .with_table("phys_conn", |t| {
+            for (_, row) in t.iter() {
+                let km = row[6].as_float().unwrap();
+                let wkt = row[7].as_text().unwrap();
+                match igdb_geo::parse_wkt(wkt).unwrap() {
+                    igdb_geo::Geometry::LineString(ls) => {
+                        assert!(
+                            (ls.length_km() - km).abs() <= 1.0,
+                            "distance {km} vs geometry {}",
+                            ls.length_km()
+                        );
+                    }
+                    other => panic!("unexpected geometry {other:?}"),
+                }
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn inferred_paths_longer_than_geodesics() {
+    // Right-of-way paths must never beat the great circle.
+    let (_, igdb) = build();
+    igdb.db
+        .with_table("phys_conn", |t| {
+            for (_, row) in t.iter() {
+                let from = row[0].as_int().unwrap() as usize;
+                let to = row[3].as_int().unwrap() as usize;
+                let km = row[6].as_float().unwrap();
+                let gc = igdb_geo::haversine_km(
+                    &igdb.metros.metro(from).loc,
+                    &igdb.metros.metro(to).loc,
+                );
+                assert!(
+                    km >= gc * 0.99,
+                    "path {from}->{to}: {km} km beats geodesic {gc} km"
+                );
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn declared_footprints_subset_of_ground_truth() {
+    // iGDB's asn_loc (declared, non-inferred) must only contain metros the
+    // AS truly operates in — standardization must not invent presence
+    // (modulo the jitter-to-adjacent-town artifact, bounded here at 5%).
+    let (world, igdb) = build();
+    let mut rows = 0usize;
+    let mut wrong = 0usize;
+    for a in &world.eco.ases {
+        for m in igdb.metros_of_asn(a.asn) {
+            rows += 1;
+            if !a.footprint.contains(&m) {
+                wrong += 1;
+            }
+        }
+    }
+    assert!(rows > 500, "too few asn_loc rows: {rows}");
+    assert!(
+        wrong * 20 <= rows,
+        "{wrong}/{rows} declared metros not in ground-truth footprints"
+    );
+}
+
+#[test]
+fn remote_peering_flags_sound_and_useful() {
+    // §3.3's remote-peering inference is a distance heuristic (the paper
+    // leans on [57]'s latency technique, which needs member-port RTTs we
+    // deliberately do not expose to the pipeline). Its sound guarantees:
+    //   (1) it never flags a presence the AS itself declared locally;
+    //   (2) it catches the majority of *far* remote peers (>1000 km from
+    //       any declared facility of the AS);
+    //   (3) everything it flags is at least plausibly remote — the AS has
+    //       no declared facility in that metro.
+    let (world, igdb) = build();
+    // Ground truth: remote members per (asn, metro).
+    let mut truth_remote: std::collections::HashSet<(u32, usize)> =
+        std::collections::HashSet::new();
+    for ixp in &world.ixps {
+        for m in &ixp.members {
+            if m.remote {
+                truth_remote.insert((m.asn.0, ixp.city));
+            }
+        }
+    }
+    let mut flagged: std::collections::HashSet<(u32, usize)> = std::collections::HashSet::new();
+    let mut present: std::collections::HashSet<(u32, usize)> = std::collections::HashSet::new();
+    let mut has_facility_data: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    igdb.db
+        .with_table("asn_loc", |t| {
+            for (_, row) in t.iter() {
+                let asn = row[0].as_int().unwrap() as u32;
+                let metro = row[1].as_int().unwrap() as usize;
+                present.insert((asn, metro));
+                if row[6] == igdb_db::Value::text("peeringdb_fac") {
+                    has_facility_data.insert(asn);
+                }
+                if row[4] == igdb_db::Value::Bool(true) {
+                    flagged.insert((asn, metro));
+                }
+            }
+        })
+        .unwrap();
+    assert!(!flagged.is_empty(), "no remote flags at all");
+    // (1) + (3): a flagged presence must not be in the AS's *declared*
+    // footprint (what PeeringDB facilities attest).
+    for &(asn, metro) in &flagged {
+        let a = world.eco.get(igdb_net::Asn(asn)).unwrap();
+        assert!(
+            !a.declared_footprint.contains(&metro),
+            "AS{asn} flagged remote in a metro it declared ({metro})"
+        );
+    }
+    // (2): recall over far remote peers that made it into asn_loc.
+    let mut far_remote = 0usize;
+    let mut far_caught = 0usize;
+    for &(asn, metro) in &truth_remote {
+        if !present.contains(&(asn, metro)) {
+            continue;
+        }
+        // Without any facility declarations the heuristic abstains (it has
+        // no anchor to measure distance from) — exclude those ASes.
+        if !has_facility_data.contains(&asn) {
+            continue;
+        }
+        let a = world.eco.get(igdb_net::Asn(asn)).unwrap();
+        let here = world.cities[metro].loc;
+        let nearest = a
+            .declared_footprint
+            .iter()
+            .map(|&m| igdb_geo::haversine_km(&here, &world.cities[m].loc))
+            .fold(f64::INFINITY, f64::min);
+        if nearest > 1000.0 {
+            far_remote += 1;
+            if flagged.contains(&(asn, metro)) {
+                far_caught += 1;
+            }
+        }
+    }
+    if far_remote > 0 {
+        assert!(
+            far_caught * 10 >= far_remote * 7,
+            "caught {far_caught}/{far_remote} far remote peers"
+        );
+    }
+}
+
+#[test]
+fn ixp_prefix_geolocations_are_exact() {
+    // Addresses on IXP LANs geolocate to the IXP's metro with certainty —
+    // the paper's "true location according to IXP prefixes".
+    let (world, igdb) = build();
+    let mut checked = 0;
+    for (&ip, info) in &igdb.ip_info {
+        if info.geo_source != Some(igdb_core::LocationSource::IxpPrefix) {
+            continue;
+        }
+        let truth = world.ixp_of_ip(ip).expect("IXP-tagged address on a LAN");
+        assert_eq!(info.metro, Some(truth.city), "IXP hop mis-geolocated");
+        checked += 1;
+    }
+    assert!(checked >= 3, "only {checked} IXP-located addresses observed");
+}

@@ -1,0 +1,110 @@
+//! Persistence integration: the whole built database must survive a
+//! save-to-CSV / load-from-CSV round trip with queries intact.
+
+use igdb_core::Igdb;
+use igdb_db::{Database, Predicate, Query, Value};
+use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("igdb_roundtrip_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn full_database_roundtrip() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 200);
+    let igdb = Igdb::build(&snaps);
+
+    let dir = tempdir("full");
+    igdb.db.save_dir(&dir).expect("save");
+    let loaded = Database::load_dir(&dir).expect("load");
+
+    // Same relations, same row counts.
+    assert_eq!(loaded.table_names(), igdb.db.table_names());
+    for table in igdb.db.table_names() {
+        assert_eq!(
+            loaded.row_count(&table).unwrap(),
+            igdb.db.row_count(&table).unwrap(),
+            "{table} row count changed across round trip"
+        );
+    }
+
+    // Row-for-row equality on a geometry-heavy relation.
+    let orig = igdb
+        .db
+        .with_table("phys_conn", |t| t.rows().to_vec())
+        .unwrap();
+    let back = loaded
+        .with_table("phys_conn", |t| t.rows().to_vec())
+        .unwrap();
+    assert_eq!(orig, back);
+
+    // Queries still work on the loaded copy, including WKT parsing.
+    let wkts = loaded
+        .with_table("phys_conn", |t| {
+            Query::new(t)
+                .order_by("distance_km", false)
+                .limit(10)
+                .select(vec!["path_wkt"])
+                .rows()
+        })
+        .unwrap()
+        .unwrap();
+    assert_eq!(wkts.len(), 10);
+    for row in wkts {
+        igdb_geo::parse_wkt(row[0].as_text().unwrap()).expect("stored WKT parses after reload");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn filtered_query_equivalence_after_reload() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 100);
+    let igdb = Igdb::build(&snaps);
+    let dir = tempdir("query");
+    igdb.db.save_dir(&dir).expect("save");
+    let loaded = Database::load_dir(&dir).expect("load");
+
+    let asn = Value::from(world.scenarios.coastcable.0);
+    let run = |db: &Database| -> usize {
+        db.with_table("asn_loc", |t| {
+            Query::new(t)
+                .filter(Predicate::Eq("asn".into(), asn.clone()))
+                .count()
+                .unwrap()
+        })
+        .unwrap()
+    };
+    assert!(run(&igdb.db) > 0);
+    assert_eq!(run(&igdb.db), run(&loaded));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn null_hop_addresses_survive_roundtrip() {
+    // traceroutes.ip is nullable (star hops); NULL vs empty string must be
+    // preserved exactly.
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 200);
+    let igdb = Igdb::build(&snaps);
+    let dir = tempdir("nulls");
+    igdb.db.save_dir(&dir).expect("save");
+    let loaded = Database::load_dir(&dir).expect("load");
+
+    let count_nulls = |db: &Database| {
+        db.with_table("traceroutes", |t| {
+            Query::new(t)
+                .filter(Predicate::IsNull("ip".into()))
+                .count()
+                .unwrap()
+        })
+        .unwrap()
+    };
+    let n = count_nulls(&igdb.db);
+    assert!(n > 0, "expected some unresponsive hops in the corpus");
+    assert_eq!(n, count_nulls(&loaded));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,158 @@
+//! End-to-end integration: world → snapshots → iGDB → analyses, with
+//! cross-relation consistency checks spanning every crate.
+
+use igdb_core::Igdb;
+use igdb_db::{Predicate, Query, Value};
+use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+fn build() -> (World, Igdb) {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 400);
+    let igdb = Igdb::build(&snaps);
+    (world, igdb)
+}
+
+#[test]
+fn every_relation_carries_the_snapshot_date() {
+    let (_, igdb) = build();
+    for table in igdb.db.table_names() {
+        igdb.db
+            .with_table(&table, |t| {
+                let col = t.schema().index_of("as_of_date").unwrap();
+                for (_, row) in t.iter().take(20) {
+                    assert_eq!(
+                        row[col],
+                        Value::text("2022-05-03"),
+                        "{table} row has wrong as_of_date"
+                    );
+                }
+            })
+            .unwrap();
+    }
+}
+
+#[test]
+fn phys_conn_endpoints_are_standard_metros() {
+    let (_, igdb) = build();
+    let n_metros = igdb.metros.len() as i64;
+    igdb.db
+        .with_table("phys_conn", |t| {
+            for (_, row) in t.iter() {
+                let from = row[0].as_int().unwrap();
+                let to = row[3].as_int().unwrap();
+                assert!(from >= 0 && from < n_metros);
+                assert!(to >= 0 && to < n_metros);
+                assert_ne!(from, to, "self-loop physical path");
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn asn_loc_references_known_asns() {
+    let (_, igdb) = build();
+    let known: std::collections::HashSet<i64> = igdb
+        .db
+        .with_table("asn_name", |t| {
+            t.rows().iter().filter_map(|r| r[0].as_int()).collect()
+        })
+        .unwrap();
+    igdb.db
+        .with_table("asn_loc", |t| {
+            for (_, row) in t.iter() {
+                let asn = row[0].as_int().unwrap();
+                assert!(known.contains(&asn), "asn_loc references unknown AS{asn}");
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn traceroute_hops_reference_probe_ids() {
+    let (_, igdb) = build();
+    let probe_ids: std::collections::HashSet<i64> = igdb
+        .db
+        .with_table("probes", |t| {
+            t.rows().iter().filter_map(|r| r[0].as_int()).collect()
+        })
+        .unwrap();
+    igdb.db
+        .with_table("traceroutes", |t| {
+            for (_, row) in t.iter().take(2000) {
+                assert!(probe_ids.contains(&row[0].as_int().unwrap()));
+                assert!(probe_ids.contains(&row[1].as_int().unwrap()));
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn ip_asn_dns_agrees_with_cached_ip_info() {
+    let (_, igdb) = build();
+    igdb.db
+        .with_table("ip_asn_dns", |t| {
+            for (_, row) in t.iter().take(500) {
+                let ip: igdb_net::Ip4 = row[0].as_text().unwrap().parse().unwrap();
+                let info = igdb.ip_info.get(&ip).expect("cached info for every row");
+                assert_eq!(row[1].as_int().map(|i| i as u32), info.asn.map(|a| a.0));
+                assert_eq!(row[2].as_text(), info.fqdn.as_deref());
+                assert_eq!(row[3].as_int().map(|i| i as usize), info.metro);
+            }
+        })
+        .unwrap();
+}
+
+#[test]
+fn observed_as_paths_are_mostly_graph_adjacent() {
+    // Resolved traceroute AS paths should step along real AS adjacencies
+    // — evidence the bdrmap + BGP machinery compose correctly end to end.
+    let (world, igdb) = build();
+    let mut steps = 0usize;
+    let mut adjacent = 0usize;
+    for tr in igdb.traces.iter().take(200) {
+        let ips: Vec<igdb_net::Ip4> = tr.hops.iter().filter_map(|h| h.ip).collect();
+        let path = igdb.bdrmap.as_path(&ips);
+        for w in path.windows(2) {
+            steps += 1;
+            if world.eco.graph.relationship(w[0], w[1]).is_some() {
+                adjacent += 1;
+            }
+        }
+    }
+    assert!(steps > 200, "too few AS-path steps: {steps}");
+    assert!(
+        adjacent * 100 >= steps * 90,
+        "only {adjacent}/{steps} AS-path steps are true adjacencies"
+    );
+}
+
+#[test]
+fn sql_style_join_reproduces_typed_footprints() {
+    // The same answer must come out of the relational layer and the typed
+    // cache: metros of one AS via an indexed query vs Igdb::metros_of_asn.
+    let (world, igdb) = build();
+    let asn = world.scenarios.heartland;
+    let via_query: std::collections::BTreeSet<i64> = igdb
+        .db
+        .with_table("asn_loc", |t| {
+            Query::new(t)
+                .filter(
+                    Predicate::Eq("asn".into(), Value::from(asn.0))
+                        .and(Predicate::Eq("inferred".into(), Value::Bool(false))),
+                )
+                .select(vec!["metro_id"])
+                .distinct()
+                .rows()
+                .unwrap()
+                .into_iter()
+                .map(|r| r[0].as_int().unwrap())
+                .collect()
+        })
+        .unwrap();
+    let via_cache: std::collections::BTreeSet<i64> = igdb
+        .metros_of_asn(asn)
+        .into_iter()
+        .map(|m| m as i64)
+        .collect();
+    assert_eq!(via_query, via_cache);
+}

@@ -1,0 +1,102 @@
+//! Snapshot-refresh integration: two dated snapshots of an evolving data
+//! universe in one database, queried by `as_of_date` (paper §2–§3).
+
+use igdb_core::Igdb;
+use igdb_db::{Predicate, Query, Value};
+use igdb_synth::sources::emit_snapshots_churned;
+use igdb_synth::{emit_snapshots, World, WorldConfig};
+
+#[test]
+fn second_snapshot_appends_without_touching_the_first() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps1 = emit_snapshots(&world, "2022-05-03", 100);
+    let mut igdb = Igdb::build(&snaps1);
+
+    let nodes_before = igdb.db.row_count("phys_nodes").unwrap();
+    let conn_before = igdb.db.row_count("phys_conn").unwrap();
+
+    // Six months later: the sources churned (8% of Atlas PoPs dropped).
+    let snaps2 = emit_snapshots_churned(&world, "2022-11-01", 100, 0.08);
+    igdb.append_snapshot(&snaps2);
+
+    // Both dates coexist.
+    let by_date = igdb.counts_by_date("phys_nodes");
+    assert_eq!(by_date.len(), 2);
+    assert_eq!(by_date[0].0, "2022-05-03");
+    assert_eq!(by_date[1].0, "2022-11-01");
+    assert_eq!(by_date[0].1, nodes_before, "first snapshot must be untouched");
+    assert!(by_date[1].1 > 0);
+    // Churn made the second Atlas snapshot smaller (facility counts are
+    // identical, so compare totals loosely).
+    assert!(
+        igdb.db.row_count("phys_nodes").unwrap() < nodes_before * 2,
+        "churn should shrink the second snapshot"
+    );
+    assert!(igdb.db.row_count("phys_conn").unwrap() > conn_before);
+
+    // The date axis works in queries.
+    let old_only = igdb
+        .db
+        .with_table("phys_conn", |t| {
+            Query::new(t)
+                .filter(Predicate::Eq(
+                    "as_of_date".into(),
+                    Value::text("2022-05-03"),
+                ))
+                .count()
+                .unwrap()
+        })
+        .unwrap();
+    assert_eq!(old_only, conn_before);
+
+    // Analyses now run against the latest date.
+    assert_eq!(igdb.as_of_date, "2022-11-01");
+    assert!(!igdb.phys_pairs.is_empty());
+}
+
+#[test]
+fn churned_snapshot_differs_from_original() {
+    let world = World::generate(WorldConfig::tiny());
+    let a = emit_snapshots(&world, "2022-05-03", 0);
+    let b = emit_snapshots_churned(&world, "2022-11-01", 0, 0.10);
+    assert!(b.atlas_nodes.len() < a.atlas_nodes.len());
+    // Roughly 10% churn, generously banded.
+    let frac = 1.0 - b.atlas_nodes.len() as f64 / a.atlas_nodes.len() as f64;
+    assert!((0.03..0.25).contains(&frac), "churn fraction {frac}");
+}
+
+#[test]
+#[should_panic(expected = "already loaded")]
+fn same_date_rejected() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 0);
+    let mut igdb = Igdb::build(&snaps);
+    igdb.append_snapshot(&snaps);
+}
+
+#[test]
+fn analyses_survive_a_refresh() {
+    // The distance-cost analysis must still work after switching to the
+    // second snapshot's phys_conn graph.
+    let world = World::generate(WorldConfig::tiny());
+    let snaps1 = emit_snapshots(&world, "2022-05-03", 450);
+    let mut igdb = Igdb::build(&snaps1);
+    let trace = world
+        .traceroute_between(world.scenarios.anchor_kansas_city, world.scenarios.anchor_atlanta)
+        .unwrap();
+    let before = igdb_core::analysis::physpath::physical_path_report(
+        &igdb,
+        &trace.responding_ips(),
+    )
+    .expect("report before refresh");
+
+    let snaps2 = emit_snapshots_churned(&world, "2022-11-01", 0, 0.05);
+    igdb.append_snapshot(&snaps2);
+    let after = igdb_core::analysis::physpath::physical_path_report(
+        &igdb,
+        &trace.responding_ips(),
+    )
+    .expect("report after refresh");
+    // The corridor structure barely changed; the cost stays in band.
+    assert!((after.distance_cost - before.distance_cost).abs() < 0.8);
+}
