@@ -112,6 +112,79 @@ fn bench_fig7_physpath(c: &mut Criterion) {
     });
 }
 
+fn bench_phys_routing_mesh(c: &mut Criterion) {
+    // The §4.2 analysis over the whole traceroute corpus: thousands of
+    // shortest-path queries against one immutable physical graph. The
+    // 1-thread row isolates the engine win (workspace reuse + resumable
+    // per-source search); the all-threads row adds the parallel fan-out.
+    let f = fixture(Scale::Tiny);
+    let graph = analysis::physpath::PhysGraph::from_igdb(&f.igdb);
+    let traces: Vec<Vec<igdb_net::Ip4>> = f
+        .igdb
+        .traces
+        .iter()
+        .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
+        .collect();
+    let mut g = c.benchmark_group("phys_routing_mesh");
+    g.sample_size(10);
+    g.bench_function("reports_1_thread", |b| {
+        b.iter(|| {
+            igdb_par::with_threads(1, || {
+                black_box(analysis::physpath::physical_path_reports_with(
+                    &f.igdb, &graph, &traces,
+                ))
+            })
+        })
+    });
+    g.bench_function("reports_all_threads", |b| {
+        b.iter(|| {
+            black_box(analysis::physpath::physical_path_reports_with(
+                &f.igdb, &graph, &traces,
+            ))
+        })
+    });
+    // Engine-level rows over one deterministic query stream (all ordered
+    // pairs of the first k metros, grouped by source). The fresh-workspace
+    // row reallocates per query — the pre-engine cost model — while the
+    // reused row settles each source once and resumes for later targets.
+    let k = graph.engine().node_count().min(40);
+    g.bench_function("sp_queries_fresh_workspace", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for s in 0..k {
+                for t in 0..k {
+                    if s == t {
+                        continue;
+                    }
+                    let mut ws = igdb_core::SpWorkspace::new();
+                    if let Some((_, d)) = graph.shortest_path_with(&mut ws, s, t) {
+                        total += d;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.bench_function("sp_queries_reused_workspace", |b| {
+        let mut ws = igdb_core::SpWorkspace::new();
+        b.iter(|| {
+            let mut total = 0.0;
+            for s in 0..k {
+                for t in 0..k {
+                    if s == t {
+                        continue;
+                    }
+                    if let Some((_, d)) = graph.shortest_path_with(&mut ws, s, t) {
+                        total += d;
+                    }
+                }
+            }
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
 fn bench_fig8_rocketfuel(c: &mut Criterion) {
     let f = fixture(Scale::Tiny);
     let map = igdb_synth::intertubes::rocketfuel_recreation(&f.world);
@@ -163,6 +236,7 @@ criterion_group!(
     bench_fig5_export,
     bench_fig6_overlap,
     bench_fig7_physpath,
+    bench_phys_routing_mesh,
     bench_fig8_rocketfuel,
     bench_fig9_fusion,
     bench_fig10_density,

@@ -9,18 +9,22 @@
 //! infrastructure — yielding the **distance cost** (paper example: 2,518 km
 //! ÷ 1,282 km = 1.96).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use igdb_geo::GeoPoint;
 use igdb_net::{Asn, Ip4};
 
 use crate::build::Igdb;
+use crate::spath::{ShortestPathEngine, SpWorkspace};
 
-/// The metro-level graph of inferred physical paths (`phys_conn`).
+/// The metro-level graph of inferred physical paths (`phys_conn`),
+/// backed by the shared [`ShortestPathEngine`].
 pub struct PhysGraph {
-    n: usize,
-    adj: Vec<Vec<(usize, f64)>>,
+    engine: ShortestPathEngine,
+    /// Workspace backing the plain [`shortest_path`](Self::shortest_path)
+    /// convenience API; batch callers bring their own via
+    /// [`shortest_path_with`](Self::shortest_path_with).
+    workspace: Mutex<SpWorkspace>,
 }
 
 impl PhysGraph {
@@ -32,61 +36,44 @@ impl PhysGraph {
     /// Builds the graph from explicit `(from, to, km)` pairs (used by the
     /// risk analysis to model infrastructure failures).
     pub fn from_pairs(n_metros: usize, pairs: &[(usize, usize, f64)]) -> Self {
-        let n = n_metros;
-        let mut adj = vec![Vec::new(); n];
-        for &(a, b, km) in pairs {
-            adj[a].push((b, km));
-            adj[b].push((a, km));
+        Self {
+            engine: ShortestPathEngine::from_undirected(n_metros, pairs.iter().copied()),
+            workspace: Mutex::new(SpWorkspace::new()),
         }
-        Self { n, adj }
     }
 
     pub fn edge_count(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+        self.engine.edge_count()
+    }
+
+    /// Number of physical links touching `metro`.
+    pub fn degree(&self, metro: usize) -> usize {
+        self.engine.degree(metro)
+    }
+
+    /// The routing engine (for callers that batch queries with their own
+    /// [`SpWorkspace`]).
+    pub fn engine(&self) -> &ShortestPathEngine {
+        &self.engine
     }
 
     /// Shortest path along inferred physical infrastructure:
     /// `(metro sequence, km)`.
     pub fn shortest_path(&self, from: usize, to: usize) -> Option<(Vec<usize>, f64)> {
-        if from >= self.n || to >= self.n {
-            return None;
-        }
-        if from == to {
-            return Some((vec![from], 0.0));
-        }
-        let mut dist = vec![f64::INFINITY; self.n];
-        let mut prev = vec![usize::MAX; self.n];
-        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
-        dist[from] = 0.0;
-        heap.push((Reverse(0u64), from));
-        while let Some((Reverse(dbits), u)) = heap.pop() {
-            let d = f64::from_bits(dbits);
-            if d > dist[u] {
-                continue;
-            }
-            if u == to {
-                break;
-            }
-            for &(v, w) in &self.adj[u] {
-                let nd = d + w;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    prev[v] = u;
-                    heap.push((Reverse(nd.to_bits()), v));
-                }
-            }
-        }
-        if dist[to].is_infinite() {
-            return None;
-        }
-        let mut path = vec![to];
-        let mut cur = to;
-        while cur != from {
-            cur = prev[cur];
-            path.push(cur);
-        }
-        path.reverse();
-        Some((path, dist[to]))
+        let mut ws = self.workspace.lock().unwrap_or_else(|e| e.into_inner());
+        self.engine.shortest_path_with(&mut ws, from, to)
+    }
+
+    /// [`shortest_path`](Self::shortest_path) with a caller-owned
+    /// workspace: queries grouped by source amortize to one search per
+    /// source, and parallel workers don't contend on the shared lock.
+    pub fn shortest_path_with(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        self.engine.shortest_path_with(ws, from, to)
     }
 }
 
@@ -166,12 +153,34 @@ pub fn physical_path_report_with(
         leg_asns.push(current_asns.clone());
     }
 
+    // Membership tests below run once per (leg, candidate); bitsets over
+    // the metro space replace the old O(n) `Vec::contains` scans. The
+    // observed set is fixed for the whole report.
+    let n_metros = igdb.metros.len();
+    let mut observed_mask = vec![false; n_metros];
+    for &m in &observed {
+        observed_mask[m] = true;
+    }
+    // `metros_of_asn` walks the asn_loc index and allocates; legs share
+    // ASes (a trace stays within a few networks), so resolve each ASN once
+    // per report instead of once per leg.
+    let mut asn_metros: std::collections::HashMap<Asn, Vec<usize>> =
+        std::collections::HashMap::new();
+    // Per-leg scratch, cleared between legs by walking what was set.
+    let mut tested_mask = vec![false; n_metros];
+    let mut tested: Vec<usize> = Vec::new();
+
+    // Legs re-query from the same source only when a trace revisits a
+    // metro, but the practical path (step 4) shares the first leg's
+    // source, so one workspace serves the whole report.
+    let mut ws = SpWorkspace::new();
+
     // 2. Map each leg onto inferred physical paths.
     let mut legs = Vec::new();
     let mut inferred_km = 0.0;
     for (w, asns) in observed.windows(2).zip(&leg_asns) {
         let (a, b) = (w[0], w[1]);
-        let (via, km) = graph.shortest_path(a, b)?;
+        let (via, km) = graph.shortest_path_with(&mut ws, a, b)?;
         // 3. Hidden-node inference: corridor buffer + spatial join against
         //    the leg ASes' peering locations, restricted to metros with
         //    physical links (paper: "a physical peering location inside
@@ -179,14 +188,20 @@ pub fn physical_path_report_with(
         let corridor = leg_corridor_geometry(igdb, &via);
         let mut hidden: Vec<usize> = Vec::new();
         for &asn in asns {
-            for m in igdb.metros_of_asn(asn) {
-                // Skip metros already visible at the IP layer; what's left
-                // inside the corridor is a candidate hidden node.
-                if m == a || m == b || observed.contains(&m) || hidden.contains(&m) {
+            let metros = asn_metros
+                .entry(asn)
+                .or_insert_with(|| igdb.metros_of_asn(asn));
+            for &m in metros.iter() {
+                // Skip metros already visible at the IP layer and metros
+                // this leg already tested (under another of its ASes);
+                // what's left inside the corridor is a candidate hidden
+                // node.
+                if m == a || m == b || observed_mask[m] || tested_mask[m] {
                     continue;
                 }
-                let has_phys_link = !igdb_phys_degree_zero(graph, m);
-                if !has_phys_link {
+                tested_mask[m] = true;
+                tested.push(m);
+                if graph.degree(m) == 0 {
                     continue;
                 }
                 let loc = igdb.metros.metro(m).loc;
@@ -196,6 +211,9 @@ pub fn physical_path_report_with(
                     hidden.push(m);
                 }
             }
+        }
+        for m in tested.drain(..) {
+            tested_mask[m] = false;
         }
         hidden.sort_unstable();
         inferred_km += km;
@@ -209,8 +227,11 @@ pub fn physical_path_report_with(
     }
 
     // 4. Shortest practical physical path between endpoints.
-    let (practical_path, practical_km) =
-        graph.shortest_path(*observed.first().unwrap(), *observed.last().unwrap())?;
+    let (practical_path, practical_km) = graph.shortest_path_with(
+        &mut ws,
+        *observed.first().unwrap(),
+        *observed.last().unwrap(),
+    )?;
     let distance_cost = if practical_km > 0.0 {
         inferred_km / practical_km
     } else {
@@ -226,14 +247,22 @@ pub fn physical_path_report_with(
     })
 }
 
+/// Runs [`physical_path_report_with`] over a whole traceroute mesh in
+/// parallel, one report per input trace, in input order. Reports are
+/// independent (the graph and database are read-only), so worker count
+/// never affects the results.
+pub fn physical_path_reports_with(
+    igdb: &Igdb,
+    graph: &PhysGraph,
+    traces: &[Vec<Ip4>],
+) -> Vec<Option<PhysicalPathReport>> {
+    igdb_par::par_map(traces, |hops| physical_path_report_with(igdb, graph, hops))
+}
+
 /// The leg's route geometry: the concatenated metro-centre polyline (the
 /// corridor axis for the buffer test).
 fn leg_corridor_geometry(igdb: &Igdb, via: &[usize]) -> Vec<GeoPoint> {
     via.iter().map(|&m| igdb.metros.metro(m).loc).collect()
-}
-
-fn igdb_phys_degree_zero(graph: &PhysGraph, metro: usize) -> bool {
-    graph.adj.get(metro).map(|v| v.is_empty()).unwrap_or(true)
 }
 
 #[cfg(test)]

@@ -74,9 +74,13 @@ fn load_physical(
     snaps: &SnapshotSet,
     date: &str,
 ) -> (HashMap<String, usize>, HashMap<u32, usize>) {
+    // Spatial joins are embarrassingly parallel; row insertion stays
+    // serial and in input order so the loaded tables are byte-identical
+    // regardless of worker count.
+    let atlas_assignments = igdb_par::par_map(&snaps.atlas_nodes, |n| metros.metro_of(&n.loc));
     let mut atlas_node_metro: HashMap<String, usize> = HashMap::new();
-    for n in &snaps.atlas_nodes {
-        let Some(mid) = metros.metro_of(&n.loc) else {
+    for (n, mid) in snaps.atlas_nodes.iter().zip(atlas_assignments) {
+        let Some(mid) = mid else {
             continue;
         };
         atlas_node_metro.insert(n.node_name.clone(), mid);
@@ -97,9 +101,10 @@ fn load_physical(
         )
         .expect("phys_nodes row");
     }
+    let fac_assignments = igdb_par::par_map(&snaps.pdb_facilities, |f| metros.metro_of(&f.loc));
     let mut fac_metro: HashMap<u32, usize> = HashMap::new();
-    for f in &snaps.pdb_facilities {
-        let Some(mid) = metros.metro_of(&f.loc) else {
+    for (f, mid) in snaps.pdb_facilities.iter().zip(fac_assignments) {
+        let Some(mid) = mid else {
             continue;
         };
         fac_metro.insert(f.fac_id, mid);
@@ -122,7 +127,14 @@ fn load_physical(
     }
 
     // Atlas edges → shortest right-of-way paths, deduped per metro pair.
+    // Dedup runs serially (first-seen order defines the output), then
+    // roadway routing — the expensive part — fans out with one shortest-
+    // path workspace per worker. Pairs are grouped by source metro first,
+    // so each worker's resumable Dijkstra amortizes to roughly one full
+    // search per source. Rows are inserted serially in first-seen order,
+    // keeping the table byte-identical at any worker count.
     let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut link_work: Vec<(usize, usize, igdb_synth::sources::LinkType)> = Vec::new();
     for l in &snaps.atlas_links {
         let (Some(&ma), Some(&mb)) = (
             atlas_node_metro.get(&l.from_node),
@@ -137,12 +149,38 @@ fn load_physical(
         if !seen_pairs.insert(key) {
             continue;
         }
+        link_work.push((key.0, key.1, l.link_type));
+    }
+    let mut roadway_order: Vec<usize> = (0..link_work.len())
+        .filter(|&i| matches!(link_work[i].2, igdb_synth::sources::LinkType::Roadway))
+        .collect();
+    roadway_order.sort_by_key(|&i| link_work[i].0);
+    let mut routed: Vec<Option<(f64, Vec<igdb_geo::GeoPoint>)>> = vec![None; link_work.len()];
+    for chunk in igdb_par::par_chunks(&roadway_order, |_, chunk| {
+        let mut ws = crate::spath::SpWorkspace::new();
+        chunk
+            .iter()
+            .map(|&i| {
+                let (a, b, _) = link_work[i];
+                let route = roads
+                    .route_with_geometry_with(&mut ws, a, b)
+                    .map(|(_, km, geom)| (km, geom));
+                (i, route)
+            })
+            .collect::<Vec<_>>()
+    }) {
+        for (i, route) in chunk {
+            routed[i] = route;
+        }
+    }
+    for (i, &(ka, kb, link_type)) in link_work.iter().enumerate() {
+        let key = (ka, kb);
         // Right-of-way class decides the path model (paper §5): roadway
         // links follow the transportation network; microwave links ARE
         // straight lines between the nodes.
-        let (km, geom, row_type) = match l.link_type {
+        let (km, geom, row_type) = match link_type {
             igdb_synth::sources::LinkType::Roadway => {
-                let Some((_, km, geom)) = roads.route_with_geometry(key.0, key.1) else {
+                let Some((km, geom)) = routed[i].take() else {
                     continue; // no terrestrial right-of-way (e.g. across an ocean)
                 };
                 (km, geom, "roadway")
@@ -295,9 +333,18 @@ impl Igdb {
         let phys_pairs = phys_pairs_for(&db, &date);
 
         // --- land_points / sub_cables from Telegeography. ---
+        // Landing-point spatial joins fan out in parallel; inserts stay
+        // serial and in input order (see load_physical).
+        let landing_locs: Vec<&igdb_geo::GeoPoint> = snaps
+            .telegeo
+            .iter()
+            .flat_map(|c| c.landings.iter().map(|(_, _, loc)| loc))
+            .collect();
+        let landing_assignments = igdb_par::par_map(&landing_locs, |loc| metros.metro_of(loc));
+        let mut landing_iter = landing_assignments.into_iter();
         for c in &snaps.telegeo {
             for (lname, _, loc) in &c.landings {
-                let Some(mid) = metros.metro_of(loc) else {
+                let Some(mid) = landing_iter.next().expect("one assignment per landing") else {
                     continue;
                 };
                 db.insert(
@@ -519,9 +566,13 @@ impl Igdb {
         }
 
         // --- Probes + traceroute relation. ---
+        // Anchor spatial joins fan out in parallel; inserts stay serial
+        // and in input order (see load_physical).
+        let anchor_assignments =
+            igdb_par::par_map(&snaps.ripe_anchors, |a| metros.metro_of(&a.loc));
         let mut probes = HashMap::new();
-        for a in &snaps.ripe_anchors {
-            let Some(mid) = metros.metro_of(&a.loc) else {
+        for (a, mid) in snaps.ripe_anchors.iter().zip(anchor_assignments) {
+            let Some(mid) = mid else {
                 continue;
             };
             probes.insert(
@@ -594,8 +645,13 @@ impl Igdb {
         for seq in &ip_sequences {
             observed.extend(seq.iter().copied());
         }
-        let mut ip_info: HashMap<Ip4, IpInfo> = HashMap::new();
-        for &ip in &observed {
+        // Per-address resolution (bdrmap LPM, rDNS, anycast scan, IXP
+        // prefix scan, Hoiho geolocation) is read-only against the built
+        // indexes and fans out in parallel; row insertion stays serial in
+        // sorted-address order so `ip_asn_dns` is byte-identical at any
+        // worker count.
+        let observed: Vec<Ip4> = observed.into_iter().collect();
+        let resolved = igdb_par::par_map(&observed, |&ip| {
             let asn = bdrmap.resolve(ip).asn();
             let fqdn = rdns.get(&ip).cloned();
             let anycast = snaps.anycast_prefixes.iter().any(|p| p.contains(ip));
@@ -618,6 +674,10 @@ impl Igdb {
             } else {
                 (None, None)
             };
+            (asn, fqdn, anycast, metro, geo_source)
+        });
+        let mut ip_info: HashMap<Ip4, IpInfo> = HashMap::new();
+        for (&ip, (asn, fqdn, anycast, metro, geo_source)) in observed.iter().zip(resolved) {
             db.insert(
                 "ip_asn_dns",
                 vec![

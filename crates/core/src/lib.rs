@@ -36,9 +36,11 @@ pub mod hoiho;
 pub mod metros;
 pub mod roads;
 pub mod schema;
+pub mod spath;
 
 pub use bdrmap::{BdrMap, IpOrigin};
 pub use build::{Igdb, IpInfo, LocationSource};
 pub use hoiho::HoihoEngine;
 pub use metros::{Metro, MetroRegistry};
 pub use roads::RoadGraph;
+pub use spath::{ShortestPathEngine, SpWorkspace};

@@ -6,12 +6,19 @@
 //! route connecting city pairs along the right-of-way network." The road
 //! dataset arrives as [`RoadSegment`] records (a public GIS layer);
 //! endpoints are metro ids.
+//!
+//! Routing delegates to the shared [`ShortestPathEngine`]; geometry lookup
+//! uses a `(u, v) → edge` map instead of scanning adjacency lists, and
+//! segment polylines are stored behind `Arc` so loading never copies them.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use igdb_geo::GeoPoint;
 use igdb_synth::sources::RoadSegment;
+
+use crate::spath::{ShortestPathEngine, SpWorkspace};
 
 /// One loaded road edge.
 #[derive(Clone, Debug)]
@@ -19,13 +26,20 @@ pub struct RoadEdge {
     pub a: usize,
     pub b: usize,
     pub length_km: f64,
-    pub path: Vec<GeoPoint>,
+    pub path: Arc<[GeoPoint]>,
 }
 
 /// The right-of-way graph over the standard metros.
 pub struct RoadGraph {
     edges: Vec<RoadEdge>,
-    adj: Vec<Vec<(usize, usize)>>,
+    engine: ShortestPathEngine,
+    /// `(u, v) → edge index`, both orientations; on parallel edges the
+    /// first-loaded edge wins (matching the old adjacency-scan behavior).
+    edge_of: HashMap<(usize, usize), usize>,
+    /// Workspace backing the plain [`shortest_path`](Self::shortest_path)
+    /// convenience API; parallel callers bring their own workspace via the
+    /// `_with` variants.
+    workspace: Mutex<SpWorkspace>,
 }
 
 impl RoadGraph {
@@ -33,7 +47,7 @@ impl RoadGraph {
     /// segments referencing out-of-range metros are rejected.
     pub fn build(n_metros: usize, segments: &[RoadSegment]) -> Self {
         let mut edges = Vec::with_capacity(segments.len());
-        let mut adj = vec![Vec::new(); n_metros];
+        let mut edge_of = HashMap::with_capacity(segments.len() * 2);
         for s in segments {
             assert!(
                 s.a < n_metros && s.b < n_metros,
@@ -46,12 +60,21 @@ impl RoadGraph {
                 a: s.a,
                 b: s.b,
                 length_km: s.length_km,
-                path: s.path.clone(),
+                path: s.path.clone().into(),
             });
-            adj[s.a].push((s.b, idx));
-            adj[s.b].push((s.a, idx));
+            edge_of.entry((s.a, s.b)).or_insert(idx);
+            edge_of.entry((s.b, s.a)).or_insert(idx);
         }
-        Self { edges, adj }
+        let engine = ShortestPathEngine::from_undirected(
+            n_metros,
+            edges.iter().map(|e| (e.a, e.b, e.length_km)),
+        );
+        Self {
+            edges,
+            engine,
+            edge_of,
+            workspace: Mutex::new(SpWorkspace::new()),
+        }
     }
 
     pub fn edge_count(&self) -> usize {
@@ -59,69 +82,53 @@ impl RoadGraph {
     }
 
     pub fn metro_count(&self) -> usize {
-        self.adj.len()
+        self.engine.node_count()
+    }
+
+    /// The shared routing engine (for callers that batch queries with
+    /// their own [`SpWorkspace`]).
+    pub fn engine(&self) -> &ShortestPathEngine {
+        &self.engine
     }
 
     /// Shortest road route between two metros: `(metro sequence, km)`.
     pub fn shortest_path(&self, from: usize, to: usize) -> Option<(Vec<usize>, f64)> {
-        if from >= self.adj.len() || to >= self.adj.len() {
-            return None;
-        }
-        if from == to {
-            return Some((vec![from], 0.0));
-        }
-        let n = self.adj.len();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut prev = vec![usize::MAX; n];
-        let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
-        dist[from] = 0.0;
-        heap.push((Reverse(0), from));
-        while let Some((Reverse(dbits), u)) = heap.pop() {
-            let d = f64::from_bits(dbits);
-            if d > dist[u] {
-                continue;
-            }
-            if u == to {
-                break;
-            }
-            for &(v, e) in &self.adj[u] {
-                let nd = d + self.edges[e].length_km;
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    prev[v] = u;
-                    heap.push((Reverse(nd.to_bits()), v));
-                }
-            }
-        }
-        if dist[to].is_infinite() {
-            return None;
-        }
-        let mut path = vec![to];
-        let mut cur = to;
-        while cur != from {
-            cur = prev[cur];
-            path.push(cur);
-        }
-        path.reverse();
-        Some((path, dist[to]))
+        let mut ws = self.workspace.lock().unwrap_or_else(|e| e.into_inner());
+        self.engine.shortest_path_with(&mut ws, from, to)
+    }
+
+    /// [`shortest_path`](Self::shortest_path) with a caller-owned
+    /// workspace: queries grouped by `from` amortize to one search per
+    /// source, and parallel workers don't contend on the shared lock.
+    pub fn shortest_path_with(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        self.engine.shortest_path_with(ws, from, to)
     }
 
     /// The concatenated road geometry along a metro sequence. Returns
     /// `None` if consecutive metros are not road-adjacent.
     pub fn path_geometry(&self, metro_path: &[usize]) -> Option<Vec<GeoPoint>> {
-        let mut out: Vec<GeoPoint> = Vec::new();
+        // Pre-size: segment point counts minus the shared junction points.
+        let mut total = 0usize;
+        for w in metro_path.windows(2) {
+            let &e = self.edge_of.get(&(w[0], w[1]))?;
+            total += self.edges[e].path.len();
+        }
+        let mut out: Vec<GeoPoint> = Vec::with_capacity(total);
         for w in metro_path.windows(2) {
             let (u, v) = (w[0], w[1]);
-            let &(_, e) = self.adj.get(u)?.iter().find(|(nb, _)| *nb == v)?;
+            let &e = self.edge_of.get(&(u, v))?;
             let edge = &self.edges[e];
-            let mut seg = edge.path.clone();
-            if edge.a != u {
-                seg.reverse();
+            let skip = usize::from(!out.is_empty());
+            if edge.a == u {
+                out.extend(edge.path.iter().skip(skip).copied());
+            } else {
+                out.extend(edge.path.iter().rev().skip(skip).copied());
             }
-            if !out.is_empty() {
-                seg.remove(0);
-            }
-            out.extend(seg);
         }
         Some(out)
     }
@@ -133,6 +140,19 @@ impl RoadGraph {
         to: usize,
     ) -> Option<(Vec<usize>, f64, Vec<GeoPoint>)> {
         let (path, km) = self.shortest_path(from, to)?;
+        let geom = self.path_geometry(&path)?;
+        Some((path, km, geom))
+    }
+
+    /// [`route_with_geometry`](Self::route_with_geometry) with a
+    /// caller-owned workspace.
+    pub fn route_with_geometry_with(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64, Vec<GeoPoint>)> {
+        let (path, km) = self.engine.shortest_path_with(ws, from, to)?;
         let geom = self.path_geometry(&path)?;
         Some((path, km, geom))
     }
@@ -204,5 +224,32 @@ mod tests {
     #[should_panic(expected = "unknown metro")]
     fn out_of_range_segment_panics() {
         RoadGraph::build(2, &[seg(0, 5, 1.0)]);
+    }
+
+    #[test]
+    fn caller_workspace_matches_shared_lock_path() {
+        let g = graph();
+        let mut ws = SpWorkspace::new();
+        for from in 0..5 {
+            for to in 0..5 {
+                assert_eq!(
+                    g.shortest_path_with(&mut ws, from, to),
+                    g.shortest_path(from, to),
+                    "({from}, {to})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_edges_use_first_loaded_geometry() {
+        // Two edges between the same metros; the old adjacency scan found
+        // the first-loaded one, and the edge map must too.
+        let mut s1 = seg(0, 1, 10.0);
+        s1.path = vec![GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 1.0)];
+        let s2 = seg(0, 1, 7.0);
+        let g = RoadGraph::build(2, &[s1, s2]);
+        let geom = g.path_geometry(&[0, 1]).unwrap();
+        assert_eq!(geom[1], GeoPoint::new(1.0, 1.0));
     }
 }

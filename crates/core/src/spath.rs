@@ -1,0 +1,331 @@
+//! Shared shortest-path engine for the right-of-way and physical graphs.
+//!
+//! Both `RoadGraph` (§3.1 right-of-way routing) and `PhysGraph` (§4.2
+//! physical-path inference) previously carried their own hand-rolled
+//! Dijkstra that allocated fresh `dist`/`prev` vectors and a fresh heap on
+//! every query. Both hot paths issue *many* queries against an immutable
+//! graph — atlas-link routing asks for every deduped metro pair, the bench
+//! traceroute mesh asks for thousands of leg pairs — so this module
+//! centralizes the algorithm with two structural optimizations:
+//!
+//! * **CSR adjacency** (`offsets`/`targets`/`weights` flat arrays) instead
+//!   of `Vec<Vec<…>>`, for locality and zero per-node allocation.
+//! * **Generation-stamped workspaces** ([`SpWorkspace`]): `dist`/`prev`/
+//!   settled state is validated by a generation counter, so starting a new
+//!   query is O(1) instead of O(n) clearing, and repeated queries reuse the
+//!   same allocations.
+//! * **Resumable per-source search**: a workspace retains the frontier heap
+//!   between queries. Asking for a second target from the *same* source
+//!   continues the partially-run Dijkstra instead of restarting it, so a
+//!   loop over targets grouped by source amortizes to a single full SSSP
+//!   per source. Dijkstra settles nodes in deterministic order, so results
+//!   are identical whether a query ran fresh or resumed.
+//!
+//! # Determinism
+//!
+//! The search is fully deterministic given (graph, source): edge relaxation
+//! follows CSR order (= insertion order) and ties in the heap are broken on
+//! the node index exactly as the previous per-graph implementations did.
+//! Parallel callers hand each worker its own workspace; the engine itself
+//! is immutable and shared by reference.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Immutable CSR graph + Dijkstra. Weights must be non-negative and finite
+/// (asserted at build time); `f64::to_bits` then orders them correctly in
+/// the integer heap.
+pub struct ShortestPathEngine {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+/// Reusable per-caller state for [`ShortestPathEngine`] queries. One
+/// workspace serves any number of sequential queries; parallel callers use
+/// one workspace per worker.
+pub struct SpWorkspace {
+    generation: u32,
+    /// Stamp equal to `generation` ⇔ `dist`/`prev` entries are valid.
+    reached: Vec<u32>,
+    /// Stamp equal to `generation` ⇔ node is settled (final distance).
+    settled: Vec<u32>,
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    heap: BinaryHeap<(Reverse<u64>, u32)>,
+    /// Source of the search currently held in the workspace.
+    source: usize,
+    /// True once the frontier drained: every reachable node is settled.
+    exhausted: bool,
+}
+
+impl SpWorkspace {
+    pub fn new() -> Self {
+        Self {
+            generation: 0,
+            reached: Vec::new(),
+            settled: Vec::new(),
+            dist: Vec::new(),
+            prev: Vec::new(),
+            heap: BinaryHeap::new(),
+            source: usize::MAX,
+            exhausted: false,
+        }
+    }
+
+    fn reset_for(&mut self, n: usize, source: usize) {
+        if self.reached.len() < n {
+            self.reached.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, u32::MAX);
+        }
+        // Generation wrap: stamps from 4 billion queries ago could alias,
+        // so clear them once per wrap.
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.reached.fill(0);
+            self.settled.fill(0);
+            self.generation = 1;
+        }
+        self.heap.clear();
+        self.source = source;
+        self.exhausted = false;
+        self.reached[source] = self.generation;
+        self.dist[source] = 0.0;
+        self.prev[source] = u32::MAX;
+        self.heap.push((Reverse(0u64), source as u32));
+    }
+}
+
+impl Default for SpWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShortestPathEngine {
+    /// Builds the CSR form of an undirected graph from `(a, b, weight)`
+    /// arcs. Per-node neighbor order equals arc insertion order (each arc
+    /// contributes `a→b` and `b→a` in sequence), matching the neighbor
+    /// order of the `Vec<Vec<…>>` adjacency it replaces.
+    pub fn from_undirected(n: usize, arcs: impl Iterator<Item = (usize, usize, f64)> + Clone) -> Self {
+        let mut degree = vec![0u32; n];
+        let mut m = 0usize;
+        for (a, b, w) in arcs.clone() {
+            assert!(a < n && b < n, "arc ({a}, {b}) out of range for {n} nodes");
+            assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+            degree[a] += 1;
+            degree[b] += 1;
+            m += 2;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; m];
+        let mut weights = vec![0.0f64; m];
+        for (a, b, w) in arcs {
+            let ca = cursor[a] as usize;
+            targets[ca] = b as u32;
+            weights[ca] = w;
+            cursor[a] += 1;
+            let cb = cursor[b] as usize;
+            targets[cb] = a as u32;
+            weights[cb] = w;
+            cursor[b] += 1;
+        }
+        Self { offsets, targets, weights }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    pub fn degree(&self, node: usize) -> usize {
+        if node + 1 >= self.offsets.len() {
+            return 0;
+        }
+        (self.offsets[node + 1] - self.offsets[node]) as usize
+    }
+
+    fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .zip(&self.weights[lo..hi])
+            .map(|(&t, &w)| (t as usize, w))
+    }
+
+    /// Shortest path `from → to` as `(node sequence, total weight)`, using
+    /// (and advancing) `ws`. Consecutive queries from the same `from`
+    /// resume the retained search; a new source restarts it in O(1).
+    pub fn shortest_path_with(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        let n = self.node_count();
+        if from >= n || to >= n {
+            return None;
+        }
+        if from == to {
+            return Some((vec![from], 0.0));
+        }
+        if ws.source != from || ws.generation == 0 || ws.reached.len() < n {
+            ws.reset_for(n, from);
+        }
+        if ws.settled[to] != ws.generation && !ws.exhausted {
+            self.run_until_settled(ws, to);
+        }
+        if ws.settled[to] != ws.generation {
+            return None;
+        }
+        // Reconstruct by walking prev back to the source.
+        let mut path = vec![to];
+        let mut cur = to;
+        while cur != from {
+            cur = ws.prev[cur] as usize;
+            path.push(cur);
+        }
+        path.reverse();
+        Some((path, ws.dist[to]))
+    }
+
+    /// Advances the workspace's Dijkstra until `target` settles or the
+    /// frontier drains.
+    fn run_until_settled(&self, ws: &mut SpWorkspace, target: usize) {
+        let generation = ws.generation;
+        while let Some((Reverse(dbits), u32u)) = ws.heap.pop() {
+            let u = u32u as usize;
+            let d = f64::from_bits(dbits);
+            // Stale heap entry: the node settled earlier at a smaller
+            // distance.
+            if ws.settled[u] == generation {
+                continue;
+            }
+            ws.settled[u] = generation;
+            for (v, w) in self.neighbors(u) {
+                let nd = d + w;
+                let fresh = ws.reached[v] != generation;
+                if fresh || nd < ws.dist[v] {
+                    ws.reached[v] = generation;
+                    ws.dist[v] = nd;
+                    ws.prev[v] = u as u32;
+                    ws.heap.push((Reverse(nd.to_bits()), v as u32));
+                }
+            }
+            if u == target {
+                return;
+            }
+        }
+        ws.exhausted = true;
+    }
+
+    /// Total shortest-path weight `from → to` (no path reconstruction).
+    pub fn distance_with(&self, ws: &mut SpWorkspace, from: usize, to: usize) -> Option<f64> {
+        let n = self.node_count();
+        if from >= n || to >= n {
+            return None;
+        }
+        if from == to {
+            return Some(0.0);
+        }
+        if ws.source != from || ws.generation == 0 || ws.reached.len() < n {
+            ws.reset_for(n, from);
+        }
+        if ws.settled[to] != ws.generation && !ws.exhausted {
+            self.run_until_settled(ws, to);
+        }
+        (ws.settled[to] == ws.generation).then(|| ws.dist[to])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(n: usize, arcs: &[(usize, usize, f64)]) -> ShortestPathEngine {
+        ShortestPathEngine::from_undirected(n, arcs.iter().copied())
+    }
+
+    #[test]
+    fn chain_beats_long_shortcut() {
+        let e = engine(5, &[(0, 1, 10.0), (1, 2, 10.0), (2, 3, 10.0), (0, 3, 50.0)]);
+        let mut ws = SpWorkspace::new();
+        let (path, km) = e.shortest_path_with(&mut ws, 0, 3).unwrap();
+        assert_eq!(path, vec![0, 1, 2, 3]);
+        assert!((km - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_is_none_and_self_is_zero() {
+        let e = engine(4, &[(0, 1, 1.0)]);
+        let mut ws = SpWorkspace::new();
+        assert!(e.shortest_path_with(&mut ws, 0, 3).is_none());
+        assert_eq!(e.shortest_path_with(&mut ws, 3, 3), Some((vec![3], 0.0)));
+        assert!(e.shortest_path_with(&mut ws, 0, 99).is_none());
+    }
+
+    #[test]
+    fn resumed_queries_match_fresh_queries() {
+        // A lattice with enough structure that different targets settle at
+        // different times.
+        let mut arcs = Vec::new();
+        for i in 0..20usize {
+            arcs.push((i, (i + 1) % 20, 1.0 + (i % 3) as f64));
+            if i % 4 == 0 {
+                arcs.push((i, (i + 7) % 20, 2.5));
+            }
+        }
+        let e = engine(20, &arcs);
+        let mut resumed = SpWorkspace::new();
+        for to in 0..20 {
+            let mut fresh = SpWorkspace::new();
+            let a = e.shortest_path_with(&mut resumed, 3, to);
+            let b = e.shortest_path_with(&mut fresh, 3, to);
+            assert_eq!(a, b, "target {to}");
+        }
+    }
+
+    #[test]
+    fn workspace_survives_source_switches() {
+        let e = engine(6, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)]);
+        let mut ws = SpWorkspace::new();
+        assert_eq!(e.distance_with(&mut ws, 0, 5), Some(5.0));
+        assert_eq!(e.distance_with(&mut ws, 5, 0), Some(5.0));
+        assert_eq!(e.distance_with(&mut ws, 2, 4), Some(2.0));
+        assert_eq!(e.distance_with(&mut ws, 2, 0), Some(2.0));
+    }
+
+    #[test]
+    fn zero_weight_edges_are_fine() {
+        let e = engine(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
+        let mut ws = SpWorkspace::new();
+        let (path, km) = e.shortest_path_with(&mut ws, 0, 2).unwrap();
+        assert_eq!(path, vec![0, 1, 2]);
+        assert_eq!(km, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_arc_panics() {
+        engine(2, &[(0, 5, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn negative_weight_panics() {
+        engine(2, &[(0, 1, -1.0)]);
+    }
+}

@@ -33,25 +33,30 @@ pub struct VoronoiCell {
 pub fn voronoi_cells(sites: &[GeoPoint], clip: &BoundingBox) -> Vec<VoronoiCell> {
     let tri = triangulate(sites);
     let mut seen = std::collections::HashSet::new();
-    let mut out = Vec::with_capacity(sites.len());
-    for (i, p) in sites.iter().enumerate() {
-        let key = (p.lon.to_bits(), p.lat.to_bits());
-        if !seen.insert(key) {
-            continue; // duplicate site: no cell
-        }
-        let ring = if tri.neighbors[i].is_empty() && sites.len() > 1 {
+    let distinct: Vec<usize> = sites
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| seen.insert((p.lon.to_bits(), p.lat.to_bits())))
+        .map(|(i, _)| i)
+        .collect();
+    // Per-site clipping is independent; construct cells in parallel and
+    // collect in site order (par_map preserves input order).
+    let rings = igdb_par::par_map(&distinct, |&i| {
+        if tri.neighbors[i].is_empty() && sites.len() > 1 {
             cell_against_all(sites, i, clip)
         } else {
             cell_from_neighbors(sites, i, &tri.neighbors[i], clip)
-        };
-        if ring.len() >= 3 {
-            out.push(VoronoiCell {
-                site: i,
-                polygon: Polygon::new(ring, vec![]),
-            });
         }
-    }
-    out
+    });
+    distinct
+        .into_iter()
+        .zip(rings)
+        .filter(|(_, ring)| ring.len() >= 3)
+        .map(|(i, ring)| VoronoiCell {
+            site: i,
+            polygon: Polygon::new(ring, vec![]),
+        })
+        .collect()
 }
 
 /// Cell for `site` using only its Delaunay neighbour set (exact for a

@@ -1,0 +1,293 @@
+//! Std-only scoped fork-join parallelism for the iGDB pipeline.
+//!
+//! The build pipeline has several embarrassingly parallel hot loops (spatial
+//! joins against the metro Voronoi index, per-site cell construction,
+//! per-trace physical-path reports). rayon is unavailable in this build
+//! environment, so this crate provides the small slice of it the pipeline
+//! needs on top of `std::thread::scope`:
+//!
+//! * [`par_map`] — order-preserving parallel map over a slice. Workers pull
+//!   indices from a shared atomic counter (self-balancing for skewed item
+//!   costs) and write results into pre-allocated slots, so the output order
+//!   is identical to the input order regardless of worker count.
+//! * [`par_chunks`] — parallel map over disjoint chunks of a slice, for
+//!   callers that want to amortize per-worker state (e.g. a reusable
+//!   shortest-path workspace) across many items.
+//!
+//! # Determinism contract
+//!
+//! Both entry points return results in input order, so a caller that
+//! computes in parallel and then *applies* results serially (the pattern
+//! used throughout `igdb-core`) produces byte-identical output whether run
+//! with 1 thread or 64. The worker count never affects values, only wall
+//! clock.
+//!
+//! # Worker count
+//!
+//! `available_parallelism()`, overridable via the `IGDB_THREADS` environment
+//! variable, overridable again per-scope with [`with_threads`] (which is
+//! thread-local and therefore race-free under `cargo test`'s parallel test
+//! runner).
+
+use std::cell::Cell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel loops will use, from (in priority
+/// order): the innermost active [`with_threads`] scope, `IGDB_THREADS`,
+/// `std::thread::available_parallelism()`.
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("IGDB_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the calling thread's parallel loops pinned to `n` workers.
+///
+/// The override is thread-local and restored on exit (including unwind), so
+/// concurrent tests can pin different counts without racing on the process
+/// environment. Note it applies to loops *started by this thread*; worker
+/// threads spawned inside inherit the count via the loop itself, not the
+/// thread-local.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|o| o.set(prev));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Shared output buffer of write-once slots. Safety argument: the atomic
+/// work index hands each slot index to exactly one worker, and the scope
+/// join happens-before the buffer is read back.
+struct Slots<T>(*mut MaybeUninit<T>);
+unsafe impl<T: Send> Send for Slots<T> {}
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    /// Caller contract: each index in `[0, len)` is written at most once,
+    /// and only by the worker that claimed it.
+    unsafe fn write(&self, idx: usize, value: T) {
+        unsafe { (*self.0.add(idx)).write(value) };
+    }
+}
+
+/// Order-preserving parallel map: `par_map(items, f)` is observably
+/// equivalent to `items.iter().map(f).collect()`, computed on
+/// [`num_threads`] workers with work-stealing.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut out: Vec<MaybeUninit<R>> = Vec::with_capacity(items.len());
+    // SAFETY: MaybeUninit needs no initialization; every slot is written
+    // exactly once below before being read.
+    unsafe { out.set_len(items.len()) };
+    let slots = Slots(out.as_mut_ptr());
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let run = |_worker: usize| {
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                // SAFETY: fetch_add hands out each i exactly once.
+                unsafe { slots.write(i, r) };
+            }
+        };
+        let handles: Vec<_> = (1..workers).map(|w| scope.spawn(run(w))).collect();
+        run(0)();
+        // Propagate worker panics instead of reading half-written output.
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+
+    // SAFETY: the loop above wrote every index < items.len(), and the scope
+    // join synchronized those writes with this thread.
+    unsafe {
+        let mut out = std::mem::ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut R, out.len(), out.capacity())
+    }
+}
+
+/// Parallel map over disjoint chunks: the slice is split into
+/// `num_threads()` near-equal contiguous chunks and `f(chunk_index, chunk)`
+/// runs on each concurrently. Returns per-chunk results in chunk order;
+/// concatenating them preserves input order.
+///
+/// Use this instead of [`par_map`] when per-item work benefits from reusable
+/// per-worker state — `f` can allocate one workspace and drive every item in
+/// its chunk through it.
+pub fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let workers = num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        return if items.is_empty() {
+            Vec::new()
+        } else {
+            vec![f(0, items)]
+        };
+    }
+    let chunk = items.len().div_ceil(workers);
+    let chunks: Vec<(usize, &[T])> = items.chunks(chunk).enumerate().collect();
+    par_map(&chunks, |(i, c)| f(*i, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let par = with_threads(threads, || par_map(&items, |x| x * 3 + 1));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_under_skewed_cost() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = with_threads(4, || {
+            par_map(&items, |&i| {
+                // Make early items slow so late items finish first.
+                if i < 8 {
+                    std::thread::sleep(std::time::Duration::from_millis(3));
+                }
+                i * 2
+            })
+        });
+        assert_eq!(out, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |x| *x).is_empty());
+        assert_eq!(par_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let items: Vec<u32> = (0..256).collect();
+        with_threads(4, || {
+            par_map(&items, |&x| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                x
+            })
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn par_chunks_covers_all_items_in_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1, 2, 5] {
+            let chunks = with_threads(threads, || {
+                par_chunks(&items, |_idx, c| c.to_vec())
+            });
+            let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, items, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_indices_are_sequential() {
+        let items: Vec<u32> = (0..40).collect();
+        let idxs = with_threads(4, || par_chunks(&items, |idx, _c| idx));
+        let expect: Vec<usize> = (0..idxs.len()).collect();
+        assert_eq!(idxs, expect);
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        assert_eq!(THREAD_OVERRIDE.with(|o| o.get()), None);
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            with_threads(5, || assert_eq!(num_threads(), 5));
+            assert_eq!(num_threads(), 2);
+        });
+        assert_eq!(THREAD_OVERRIDE.with(|o| o.get()), None);
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let r = std::panic::catch_unwind(|| with_threads(3, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(THREAD_OVERRIDE.with(|o| o.get()), None);
+    }
+
+    #[test]
+    fn par_map_propagates_worker_panic() {
+        static HITS: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |&x| {
+                    HITS.fetch_add(1, Ordering::Relaxed);
+                    if x == 13 {
+                        panic!("worker panic");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn drop_safety_types_work() {
+        // Results with heap allocations survive the MaybeUninit round-trip.
+        let items: Vec<usize> = (0..200).collect();
+        let out = with_threads(4, || par_map(&items, |&i| vec![i; i % 7]));
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i % 7);
+            assert!(v.iter().all(|&x| x == i));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Correctness of the shared shortest-path engine and the determinism
+//! contract of the parallel pipeline.
+//!
+//! * Property tests drive [`ShortestPathEngine`] against a naive reference
+//!   Dijkstra on random connected graphs, including resumed same-source
+//!   queries (weights are dyadic so distances compare exactly).
+//! * `Igdb::build` must produce byte-identical relations whether run with
+//!   1 worker or 8: parallel loops only *compute* in parallel, all inserts
+//!   are serial and in input order.
+//! * The refactored hidden-node search (bitsets + cached `metros_of_asn`)
+//!   must produce the same candidate sets as a straight port of the
+//!   original `Vec::contains` implementation.
+
+use igdb_core::analysis::physpath::{
+    physical_path_report_with, physical_path_reports_with, PhysGraph, HIDDEN_NODE_BUFFER_KM,
+};
+use igdb_core::{Igdb, ShortestPathEngine, SpWorkspace};
+use igdb_net::{Asn, Ip4};
+use igdb_synth::{emit_snapshots, World, WorldConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Engine vs naive reference Dijkstra
+// ---------------------------------------------------------------------
+
+/// O(n²) textbook Dijkstra, no heap, no reuse — the reference.
+fn naive_dijkstra(
+    n: usize,
+    arcs: &[(usize, usize, f64)],
+    from: usize,
+    to: usize,
+) -> Option<f64> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b, w) in arcs {
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    dist[from] = 0.0;
+    loop {
+        let mut u = usize::MAX;
+        let mut best = f64::INFINITY;
+        for v in 0..n {
+            if !done[v] && dist[v] < best {
+                best = dist[v];
+                u = v;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        done[u] = true;
+        for &(v, w) in &adj[u] {
+            if dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+            }
+        }
+    }
+    dist[to].is_finite().then(|| dist[to])
+}
+
+/// A connected graph: a random spanning tree plus random extra edges.
+/// Weights are multiples of 0.25 so path sums are exact in f64 and the
+/// engine/reference distances must match bit-for-bit.
+fn build_arcs(
+    n: usize,
+    parents: &[(u64, u32)],
+    extras: &[(u32, u32, u32)],
+) -> Vec<(usize, usize, f64)> {
+    let mut arcs = Vec::with_capacity(parents.len() + extras.len());
+    for (i, &(pick, w)) in parents.iter().enumerate() {
+        let child = i + 1;
+        let parent = (pick % child as u64) as usize;
+        arcs.push((child, parent, w as f64 / 4.0));
+    }
+    for &(a, b, w) in extras {
+        arcs.push(((a as usize) % n, (b as usize) % n, w as f64 / 4.0));
+    }
+    arcs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engine_matches_naive_reference(
+        n in 2usize..32,
+        parents in proptest::collection::vec((any::<u64>(), 1u32..=16), 31),
+        extras in proptest::collection::vec((any::<u32>(), any::<u32>(), 1u32..=16), 0..48),
+    ) {
+        let parents = &parents[..n - 1];
+        let arcs = build_arcs(n, parents, &extras);
+        let engine = ShortestPathEngine::from_undirected(n, arcs.iter().copied());
+        for from in [0usize, n / 2, n - 1] {
+            // One workspace across all targets: exercises the resumable
+            // per-source search against per-query fresh references.
+            let mut ws = SpWorkspace::new();
+            for to in 0..n {
+                let got = engine.shortest_path_with(&mut ws, from, to);
+                let want = naive_dijkstra(n, &arcs, from, to);
+                match (got, want) {
+                    (Some((path, km)), Some(ref_km)) => {
+                        prop_assert_eq!(km, ref_km, "distance {} -> {}", from, to);
+                        prop_assert_eq!(*path.first().unwrap(), from);
+                        prop_assert_eq!(*path.last().unwrap(), to);
+                        // The returned path must be real: consecutive
+                        // nodes adjacent, edge weights summing to km.
+                        let mut sum = 0.0;
+                        for w in path.windows(2) {
+                            let weight = arcs
+                                .iter()
+                                .filter(|&&(a, b, _)| {
+                                    (a, b) == (w[0], w[1]) || (a, b) == (w[1], w[0])
+                                })
+                                .map(|&(_, _, wt)| wt)
+                                .fold(f64::INFINITY, f64::min);
+                            prop_assert!(weight.is_finite(), "non-edge {:?}", w);
+                            sum += weight;
+                        }
+                        prop_assert_eq!(sum, km, "path weights must sum to the distance");
+                    }
+                    (None, None) => {}
+                    (got, want) => {
+                        return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                            "reachability mismatch {from} -> {to}: engine {got:?}, naive {want:?}"
+                        )));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_is_workspace_independent(
+        n in 2usize..24,
+        parents in proptest::collection::vec((any::<u64>(), 1u32..=16), 23),
+        extras in proptest::collection::vec((any::<u32>(), any::<u32>(), 1u32..=16), 0..24),
+        from in any::<u32>(),
+        to in any::<u32>(),
+    ) {
+        let parents = &parents[..n - 1];
+        let arcs = build_arcs(n, parents, &extras);
+        let engine = ShortestPathEngine::from_undirected(n, arcs.iter().copied());
+        let (from, to) = ((from as usize) % n, (to as usize) % n);
+        // A workspace polluted by unrelated queries must answer exactly
+        // like a fresh one.
+        let mut dirty = SpWorkspace::new();
+        for probe in 0..n {
+            engine.shortest_path_with(&mut dirty, probe, (probe + 1) % n);
+        }
+        let mut fresh = SpWorkspace::new();
+        prop_assert_eq!(
+            engine.shortest_path_with(&mut dirty, from, to),
+            engine.shortest_path_with(&mut fresh, from, to)
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parallel build determinism
+// ---------------------------------------------------------------------
+
+fn assert_igdb_identical(a: &Igdb, b: &Igdb) {
+    let mut names_a = a.db.table_names();
+    let mut names_b = b.db.table_names();
+    names_a.sort();
+    names_b.sort();
+    assert_eq!(names_a, names_b, "table sets differ");
+    for name in &names_a {
+        let rows_a = a.db.with_table(name, |t| t.rows().to_vec()).unwrap();
+        let rows_b = b.db.with_table(name, |t| t.rows().to_vec()).unwrap();
+        assert_eq!(
+            rows_a.len(),
+            rows_b.len(),
+            "row count differs in table {name}"
+        );
+        for (i, (ra, rb)) in rows_a.iter().zip(&rows_b).enumerate() {
+            assert_eq!(ra, rb, "row {i} differs in table {name}");
+        }
+    }
+    assert_eq!(a.phys_pairs, b.phys_pairs, "phys_pairs differ");
+    assert_eq!(a.as_of_date, b.as_of_date);
+    assert_eq!(a.ip_info.len(), b.ip_info.len());
+    for (ip, ia) in &a.ip_info {
+        let ib = b.ip_info.get(ip).expect("ip present in both");
+        assert_eq!(ia.asn, ib.asn, "{ip}");
+        assert_eq!(ia.fqdn, ib.fqdn, "{ip}");
+        assert_eq!(ia.metro, ib.metro, "{ip}");
+        assert_eq!(ia.anycast, ib.anycast, "{ip}");
+    }
+}
+
+#[test]
+fn build_is_identical_across_worker_counts() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 400);
+    let serial = igdb_par::with_threads(1, || Igdb::build(&snaps));
+    let parallel = igdb_par::with_threads(8, || Igdb::build(&snaps));
+    assert_igdb_identical(&serial, &parallel);
+}
+
+#[test]
+fn mesh_reports_are_identical_across_worker_counts() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 400);
+    let igdb = Igdb::build(&snaps);
+    let graph = PhysGraph::from_igdb(&igdb);
+    let traces: Vec<Vec<Ip4>> = igdb
+        .traces
+        .iter()
+        .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
+        .collect();
+    let serial: Vec<_> = traces
+        .iter()
+        .map(|hops| physical_path_report_with(&igdb, &graph, hops))
+        .collect();
+    let parallel =
+        igdb_par::with_threads(8, || physical_path_reports_with(&igdb, &graph, &traces));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        match (s, p) {
+            (Some(s), Some(p)) => {
+                assert_eq!(s.observed_metros, p.observed_metros);
+                assert_eq!(s.inferred_km, p.inferred_km);
+                assert_eq!(s.practical_path, p.practical_path);
+                assert_eq!(s.practical_km, p.practical_km);
+                assert_eq!(s.legs.len(), p.legs.len());
+                for (ls, lp) in s.legs.iter().zip(&p.legs) {
+                    assert_eq!(ls.via, lp.via);
+                    assert_eq!(ls.km, lp.km);
+                    assert_eq!(ls.hidden_candidates, lp.hidden_candidates);
+                }
+            }
+            (None, None) => {}
+            _ => panic!("report presence differs between serial and parallel"),
+        }
+    }
+}
+
+#[test]
+fn voronoi_cells_are_identical_across_worker_counts() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 50);
+    let igdb = Igdb::build(&snaps);
+    let sites: Vec<igdb_geo::GeoPoint> =
+        igdb.metros.metros().iter().map(|m| m.loc).collect();
+    let clip = igdb_geo::BoundingBox::WORLD;
+    let serial = igdb_par::with_threads(1, || igdb_geo::voronoi_cells(&sites, &clip));
+    let parallel = igdb_par::with_threads(8, || igdb_geo::voronoi_cells(&sites, &clip));
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.site, p.site);
+        assert_eq!(s.polygon.exterior, p.polygon.exterior);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hidden-node candidates vs straight port of the original algorithm
+// ---------------------------------------------------------------------
+
+/// Reimplements the original O(n)-scan hidden-candidate search (before the
+/// bitset/caching refactor) from public APIs only.
+fn naive_hidden_candidates(
+    igdb: &Igdb,
+    graph: &PhysGraph,
+    observed: &[usize],
+    leg_asns: &[Asn],
+    a: usize,
+    b: usize,
+    via: &[usize],
+) -> Vec<usize> {
+    let corridor: Vec<igdb_geo::GeoPoint> =
+        via.iter().map(|&m| igdb.metros.metro(m).loc).collect();
+    let mut hidden: Vec<usize> = Vec::new();
+    for &asn in leg_asns {
+        for m in igdb.metros_of_asn(asn) {
+            if m == a || m == b || observed.contains(&m) || hidden.contains(&m) {
+                continue;
+            }
+            if graph.degree(m) == 0 {
+                continue;
+            }
+            let loc = igdb.metros.metro(m).loc;
+            if igdb_geo::point_polyline_distance_km(&loc, &corridor) <= HIDDEN_NODE_BUFFER_KM {
+                hidden.push(m);
+            }
+        }
+    }
+    hidden.sort_unstable();
+    hidden
+}
+
+#[test]
+fn hidden_candidate_sets_match_naive_reference() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 400);
+    let igdb = Igdb::build(&snaps);
+    let graph = PhysGraph::from_igdb(&igdb);
+
+    let mut reports = 0;
+    let mut legs_checked = 0;
+    for trace in igdb.traces.iter().take(120) {
+        let hops: Vec<Ip4> = trace.hops.iter().filter_map(|h| h.ip).collect();
+        let Some(report) = physical_path_report_with(&igdb, &graph, &hops) else {
+            continue;
+        };
+        reports += 1;
+        // Recover per-leg AS sets exactly as the pipeline does: ASes seen
+        // since the previous observed metro, in first-seen order.
+        let mut observed: Vec<usize> = Vec::new();
+        let mut leg_asns: Vec<Vec<Asn>> = Vec::new();
+        let mut current: Vec<Asn> = Vec::new();
+        for &ip in &hops {
+            let info = igdb.ip_info.get(&ip);
+            if let Some(asn) = info.and_then(|i| i.asn) {
+                if !current.contains(&asn) {
+                    current.push(asn);
+                }
+            }
+            if let Some(m) = info.and_then(|i| i.metro) {
+                if observed.last() != Some(&m) {
+                    if !observed.is_empty() {
+                        leg_asns.push(std::mem::take(&mut current));
+                    }
+                    observed.push(m);
+                }
+            }
+        }
+        while leg_asns.len() < observed.len().saturating_sub(1) {
+            leg_asns.push(current.clone());
+        }
+        assert_eq!(report.observed_metros, observed);
+        for (leg, asns) in report.legs.iter().zip(&leg_asns) {
+            let naive = naive_hidden_candidates(
+                &igdb,
+                &graph,
+                &observed,
+                asns,
+                leg.from_metro,
+                leg.to_metro,
+                &leg.via,
+            );
+            assert_eq!(
+                leg.hidden_candidates, naive,
+                "candidate set diverged on leg {} -> {}",
+                leg.from_metro, leg.to_metro
+            );
+            legs_checked += 1;
+        }
+    }
+    assert!(reports > 10, "too few reports exercised: {reports}");
+    assert!(legs_checked > 20, "too few legs exercised: {legs_checked}");
+}

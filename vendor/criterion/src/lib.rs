@@ -1,0 +1,200 @@
+//! Local std-only stand-in for `criterion`.
+//!
+//! The crates-io registry is unreachable in this build environment, so this
+//! crate reimplements the slice of the criterion 0.5 API the workspace's
+//! benches use (`Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`/`criterion_main!`)
+//! as a plain wall-clock harness: per benchmark it runs a warm-up, then
+//! `sample_size` timed samples, and prints min/median/mean. Substring
+//! filters passed on the command line (`cargo bench -- <filter>`) select
+//! which benchmarks run.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench invokes the harness as `bin --bench [filter...]`;
+        // everything that isn't a flag is a substring filter.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Self {
+            sample_size: 60,
+            warm_up: Duration::from_millis(300),
+            filters,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (size, warm_up) = (self.sample_size, self.warm_up);
+        self.run_one(id, size, warm_up, f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, warm_up: Duration, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        // Warm-up: run the routine until the warm-up budget elapses.
+        let start = Instant::now();
+        while start.elapsed() < warm_up {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<40} time: [min {} median {} mean {}]  ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let size = self.sample_size.unwrap_or(self.c.sample_size);
+        let warm_up = self.c.warm_up;
+        self.c.run_one(&full, size, warm_up, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // A few iterations per sample keep sub-microsecond routines above
+        // timer resolution without stretching slow benches.
+        let iters = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $bench(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_and_filters() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(1),
+            filters: vec!["match".into()],
+        };
+        let mut ran = 0;
+        c.bench_function("matching_bench", |b| {
+            b.iter(|| 1 + 1);
+        });
+        c.bench_function("other", |_b| {
+            ran += 1;
+        });
+        assert_eq!(ran, 0, "filter should have skipped `other`");
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).bench_function("matching_inner", |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+}

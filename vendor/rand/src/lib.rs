@@ -1,0 +1,496 @@
+//! A local, std-only stand-in for the `rand` crate.
+//!
+//! The crates-io registry is unreachable in this build environment, so the
+//! workspace vendors the small slice of `rand` 0.8 it actually uses. The
+//! implementation is **bit-compatible** with `rand` 0.8.5 for every code
+//! path the workspace exercises, because `igdb-synth` worlds are seeded and
+//! the test suite asserts properties of the exact generated world:
+//!
+//! * [`rngs::StdRng`] is ChaCha12 with a 64-bit counter and zero nonce,
+//!   exactly like `rand_chacha::ChaCha12Rng`, including the flat keystream
+//!   word order of `BlockRng`.
+//! * [`SeedableRng::seed_from_u64`] uses the same PCG32 seed expansion as
+//!   `rand_core` 0.6.
+//! * `gen_range` reproduces `UniformInt::sample_single_inclusive`
+//!   (widening-multiply rejection) and `UniformFloat::sample_single`.
+//! * `gen_bool` reproduces `Bernoulli` (53-bit fixed-point compare).
+//! * `gen::<T>()` reproduces the `Standard` distribution for primitives.
+
+use std::ops::{Range, RangeInclusive};
+
+// ---------------------------------------------------------------------------
+// Core traits (rand_core subset)
+// ---------------------------------------------------------------------------
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// `rand_core` 0.6 seed expansion: PCG32 (XSH-RR output function) over
+    /// the input state, one 32-bit word per seed chunk.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Rng extension trait
+// ---------------------------------------------------------------------------
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::SampleUniform,
+        R: distributions::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli(p), identical to `rand` 0.8: compare `next_u64()` against
+    /// `(p * 2^64) as u64`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range: {p}");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// ---------------------------------------------------------------------------
+// Distributions
+// ---------------------------------------------------------------------------
+
+pub mod distributions {
+    use super::{Range, RangeInclusive, RngCore};
+
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The `Standard` distribution of `rand` 0.8 for primitives.
+    pub struct Standard;
+
+    macro_rules! standard_int32 {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u32() as $ty
+                }
+            }
+        )*}
+    }
+    macro_rules! standard_int64 {
+        ($($ty:ty),*) => {$(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*}
+    }
+    standard_int32!(u8, i8, u16, i16, u32, i32);
+    standard_int64!(u64, i64, usize, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            (rng.next_u32() as i32) < 0
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53-bit multiply method, [0, 1).
+            let value = rng.next_u64() >> 11;
+            value as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            let value = rng.next_u32() >> 8;
+            value as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    /// Types `gen_range` accepts, mirroring `rand::distributions::uniform`.
+    pub trait SampleUniform: Sized {
+        fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+        fn sample_single_inclusive<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_single_inclusive(low, high, rng)
+        }
+    }
+
+    // UniformInt::sample_single_inclusive of rand 0.8.5: widening multiply
+    // with rejection zone. $large is the sampling width used by rand for the
+    // type ($ty -> u32 for <=32-bit, u64/usize otherwise).
+    macro_rules! uniform_int {
+        ($ty:ty, $unsigned:ty, $large:ty, $wide:ty) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "UniformSampler::sample_single: low >= high");
+                    Self::sample_single_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_single_inclusive<R: RngCore>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(
+                        low <= high,
+                        "UniformSampler::sample_single_inclusive: low > high"
+                    );
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $large;
+                    if range == 0 {
+                        // Span is the whole integer width.
+                        return Distribution::<$ty>::sample(&Standard, rng);
+                    }
+                    let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                        // Small types: reject a precise tail.
+                        let unsigned_max: $large = <$large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $large = Distribution::<$large>::sample(&Standard, rng);
+                        let prod = (v as $wide).wrapping_mul(range as $wide);
+                        let hi = (prod >> (<$large>::BITS)) as $large;
+                        let lo = prod as $large;
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int!(u8, u8, u32, u64);
+    uniform_int!(i8, u8, u32, u64);
+    uniform_int!(u16, u16, u32, u64);
+    uniform_int!(i16, u16, u32, u64);
+    uniform_int!(u32, u32, u32, u64);
+    uniform_int!(i32, u32, u32, u64);
+    uniform_int!(u64, u64, u64, u128);
+    uniform_int!(i64, u64, u64, u128);
+    uniform_int!(usize, usize, usize, u128);
+    uniform_int!(isize, usize, usize, u128);
+
+    macro_rules! uniform_float {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr, $bias:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "UniformSampler::sample_single: low >= high");
+                    let mut scale = high - low;
+                    assert!(scale.is_finite(), "UniformSampler::sample_single: range overflow");
+                    loop {
+                        // A value in [1, 2): set the exponent over random
+                        // fraction bits, then shift down to [0, 1).
+                        let fraction = Distribution::<$uty>::sample(&Standard, rng)
+                            >> $bits_to_discard;
+                        let value1_2 =
+                            <$ty>::from_bits(fraction | (($bias as $uty) << ($exp_bits)));
+                        let value0_1 = value1_2 - 1.0;
+                        let res = value0_1 * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // Rounding pushed us onto `high`: shave one ulp off
+                        // the scale and retry (rand's edge-case handling).
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    if low == high {
+                        return low;
+                    }
+                    Self::sample_single(low, high, rng)
+                }
+            }
+        };
+    }
+
+    // f64: 52 fraction bits (discard 12), exponent field starts at bit 52,
+    // bias 1023. f32: 23 fraction bits (discard 9), field at bit 23, bias 127.
+    uniform_float!(f64, u64, 12, 52, 1023u64);
+    uniform_float!(f32, u32, 9, 23, 127u32);
+}
+
+// ---------------------------------------------------------------------------
+// rngs::StdRng — ChaCha12, bit-compatible with rand_chacha
+// ---------------------------------------------------------------------------
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// ChaCha block function state: 4 constants, 8 key words, a 64-bit
+    /// block counter (words 12–13) and a 64-bit stream id (words 14–15),
+    /// matching `rand_chacha`'s djb variant.
+    #[derive(Clone, Debug)]
+    struct ChaChaCore {
+        state: [u32; 16],
+        rounds: usize,
+    }
+
+    impl ChaChaCore {
+        fn new(key: &[u8; 32], rounds: usize) -> Self {
+            let mut state = [0u32; 16];
+            state[0] = 0x6170_7865;
+            state[1] = 0x3320_646e;
+            state[2] = 0x7962_2d32;
+            state[3] = 0x6b20_6574;
+            for i in 0..8 {
+                state[4 + i] =
+                    u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+            Self { state, rounds }
+        }
+
+        #[inline]
+        fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            x[a] = x[a].wrapping_add(x[b]);
+            x[d] = (x[d] ^ x[a]).rotate_left(16);
+            x[c] = x[c].wrapping_add(x[d]);
+            x[b] = (x[b] ^ x[c]).rotate_left(12);
+            x[a] = x[a].wrapping_add(x[b]);
+            x[d] = (x[d] ^ x[a]).rotate_left(8);
+            x[c] = x[c].wrapping_add(x[d]);
+            x[b] = (x[b] ^ x[c]).rotate_left(7);
+        }
+
+        /// Produces the next 16-word keystream block and advances the
+        /// 64-bit block counter.
+        fn block(&mut self) -> [u32; 16] {
+            let mut x = self.state;
+            for _ in 0..self.rounds / 2 {
+                // Column round.
+                Self::quarter(&mut x, 0, 4, 8, 12);
+                Self::quarter(&mut x, 1, 5, 9, 13);
+                Self::quarter(&mut x, 2, 6, 10, 14);
+                Self::quarter(&mut x, 3, 7, 11, 15);
+                // Diagonal round.
+                Self::quarter(&mut x, 0, 5, 10, 15);
+                Self::quarter(&mut x, 1, 6, 11, 12);
+                Self::quarter(&mut x, 2, 7, 8, 13);
+                Self::quarter(&mut x, 3, 4, 9, 14);
+            }
+            for i in 0..16 {
+                x[i] = x[i].wrapping_add(self.state[i]);
+            }
+            let (lo, carry) = self.state[12].overflowing_add(1);
+            self.state[12] = lo;
+            if carry {
+                self.state[13] = self.state[13].wrapping_add(1);
+            }
+            x
+        }
+    }
+
+    /// The standard RNG: ChaCha12, as in `rand` 0.8.
+    ///
+    /// Keystream words are consumed as one flat little-endian u32 sequence,
+    /// which is exactly what `rand_core::block::BlockRng` produces for all
+    /// `next_u32`/`next_u64` interleavings.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        core: ChaChaCore,
+        buf: [u32; 16],
+        index: usize,
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next_word(&mut self) -> u32 {
+            if self.index == 16 {
+                self.buf = self.core.block();
+                self.index = 0;
+            }
+            let w = self.buf[self.index];
+            self.index += 1;
+            w
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            Self {
+                core: ChaChaCore::new(&seed, 12),
+                buf: [0; 16],
+                index: 16,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            self.next_word()
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let lo = self.next_word() as u64;
+            let hi = self.next_word() as u64;
+            lo | (hi << 32)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(4) {
+                let w = self.next_word().to_le_bytes();
+                chunk.copy_from_slice(&w[..chunk.len()]);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        /// djb's ChaCha20 test vector: all-zero key, counter 0. Validates
+        /// the block function with 20 rounds; ChaCha12 shares the code.
+        #[test]
+        fn chacha20_known_keystream() {
+            let mut core = ChaChaCore::new(&[0u8; 32], 20);
+            let block = core.block();
+            assert_eq!(
+                &block[..8],
+                &[
+                    0xade0b876, 0x903df1a0, 0xe56a5d40, 0x28bd8653, 0xb819d2bd, 0x1aed8da0,
+                    0xccef36a8, 0xc70d778b,
+                ]
+            );
+            assert_eq!(
+                &block[8..],
+                &[
+                    0x7c5941da, 0x8d485751, 0x3fe02477, 0x374ad8b8, 0xf4b8436a, 0x1ca11815,
+                    0x69b687c3, 0x8665eeb2,
+                ]
+            );
+            // Second block: counter = 1.
+            let block2 = core.block();
+            assert_eq!(block2[0], 0xbee7079f);
+        }
+
+        #[test]
+        fn deterministic_per_seed() {
+            use crate::{Rng, SeedableRng};
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+                assert_eq!(a.gen_range(-2.0f64..2.0), b.gen_range(-2.0f64..2.0));
+            }
+            let mut c = StdRng::seed_from_u64(43);
+            let va: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+            let vc: Vec<u32> = (0..8).map(|_| c.next_u32()).collect();
+            assert_ne!(va, vc);
+        }
+
+        #[test]
+        fn gen_range_bounds_respected() {
+            use crate::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..2000 {
+                let v = rng.gen_range(3..25);
+                assert!((3..25).contains(&v));
+                let f = rng.gen_range(0.6f64..0.9);
+                assert!((0.6..0.9).contains(&f));
+                let i = rng.gen_range(1..=3usize);
+                assert!((1..=3).contains(&i));
+            }
+            // Distribution sanity: all values of a tiny range appear.
+            let mut seen = [false; 3];
+            for _ in 0..100 {
+                seen[rng.gen_range(0usize..3)] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+
+        #[test]
+        fn gen_bool_probability_sane() {
+            use crate::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(11);
+            let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+            assert!((2200..2800).contains(&hits), "{hits}");
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+    }
+}
