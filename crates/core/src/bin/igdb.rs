@@ -16,10 +16,11 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use igdb_core::Igdb;
+use igdb_core::{BuildPolicy, Igdb};
 use igdb_db::{Database, Predicate, Query, Value};
 use igdb_geo::{GeoPoint, NearestSiteIndex};
-use igdb_synth::{emit_snapshots, World, WorldConfig};
+use igdb_synth::faults::FaultClass;
+use igdb_synth::{emit_snapshots, inject_faults, World, WorldConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,7 +54,11 @@ usage: igdb <command> [options]
 
 commands:
   build   --out DIR [--scale tiny|medium] [--date YYYY-MM-DD] [--mesh N]
-          generate source snapshots, run the pipeline, save the database
+          [--policy strict|lenient] [--drop-above FRAC] [--report]
+          [--corrupt SEED]
+          generate source snapshots, run the pipeline, save the database;
+          --report prints per-source ingestion health, --corrupt injects
+          seeded faults into every source (a fault-tolerance demo)
   tables  --db DIR
           list relations and row counts
   query   --db DIR --table NAME [--where col=value ...] [--select a,b,c]
@@ -102,12 +107,43 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         "medium" => WorldConfig::medium(),
         other => return Err(format!("unknown --scale '{other}' (tiny|medium)")),
     };
+    let policy = match flag(args, "--policy").as_deref() {
+        None | Some("lenient") => BuildPolicy::lenient(),
+        Some("strict") => BuildPolicy::strict(),
+        Some(other) => return Err(format!("unknown --policy '{other}' (strict|lenient)")),
+    };
+    let policy = match flag(args, "--drop-above") {
+        Some(frac) => {
+            let frac: f64 = frac.parse().map_err(|e| format!("bad --drop-above: {e}"))?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err("--drop-above wants a fraction in [0, 1]".into());
+            }
+            policy.with_drop_above(frac)
+        }
+        None => policy,
+    };
+    let want_report = args.iter().any(|a| a == "--report");
+
     eprintln!("generating world ({scale})…");
     let world = World::generate(config);
     eprintln!("emitting snapshots for {date}…");
-    let snaps = emit_snapshots(&world, &date, mesh);
+    let mut snaps = emit_snapshots(&world, &date, mesh);
+    if let Some(seed) = flag(args, "--corrupt") {
+        let seed: u64 = seed.parse().map_err(|e| format!("bad --corrupt: {e}"))?;
+        let ledger = inject_faults(&mut snaps, seed, &FaultClass::ALL_RECORD_CLASSES);
+        eprintln!("injected {} faults (seed {seed})…", ledger.len());
+    }
     eprintln!("building database…");
-    let igdb = Igdb::build(&snaps);
+    let (igdb, report) = Igdb::try_build(&snaps, &policy).map_err(|e| e.to_string())?;
+    if want_report {
+        println!("{report}");
+    } else if !report.is_clean() {
+        eprintln!(
+            "warning: {} records quarantined, {} sources dropped (rerun with --report)",
+            report.total_quarantined(),
+            report.dropped_sources().len()
+        );
+    }
     igdb.db.save_dir(&out).map_err(|e| e.to_string())?;
     eprintln!("saved {} relations to {}", igdb.db.table_names().len(), out.display());
     Ok(())

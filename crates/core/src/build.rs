@@ -11,15 +11,17 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use igdb_db::{Database, Value};
+use igdb_fault::{BuildError, BuildPolicy, BuildReport};
 use igdb_geo::{to_wkt, Geometry, LineString, MultiLineString};
 use igdb_net::{Asn, Ip4, Prefix};
-use igdb_synth::sources::{RipeTraceroute, SnapshotSet};
+use igdb_synth::sources::{AtlasLink, AtlasNode, PdbFacility, RipeTraceroute, SnapshotSet};
 
 use crate::bdrmap::BdrMap;
 use crate::hoiho::HoihoEngine;
 use crate::metros::MetroRegistry;
 use crate::roads::RoadGraph;
 use crate::schema;
+use crate::validate::{validate, CleanSnapshots};
 
 /// Where a metro assignment for an IP came from.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,15 +73,17 @@ fn load_physical(
     db: &Database,
     metros: &MetroRegistry,
     roads: &RoadGraph,
-    snaps: &SnapshotSet,
+    atlas_nodes: &[AtlasNode],
+    atlas_links: &[AtlasLink],
+    pdb_facilities: &[PdbFacility],
     date: &str,
 ) -> (HashMap<String, usize>, HashMap<u32, usize>) {
     // Spatial joins are embarrassingly parallel; row insertion stays
     // serial and in input order so the loaded tables are byte-identical
     // regardless of worker count.
-    let atlas_assignments = igdb_par::par_map(&snaps.atlas_nodes, |n| metros.metro_of(&n.loc));
+    let atlas_assignments = igdb_par::par_map(atlas_nodes, |n| metros.metro_of(&n.loc));
     let mut atlas_node_metro: HashMap<String, usize> = HashMap::new();
-    for (n, mid) in snaps.atlas_nodes.iter().zip(atlas_assignments) {
+    for (n, mid) in atlas_nodes.iter().zip(atlas_assignments) {
         let Some(mid) = mid else {
             continue;
         };
@@ -101,9 +105,9 @@ fn load_physical(
         )
         .expect("phys_nodes row");
     }
-    let fac_assignments = igdb_par::par_map(&snaps.pdb_facilities, |f| metros.metro_of(&f.loc));
+    let fac_assignments = igdb_par::par_map(pdb_facilities, |f| metros.metro_of(&f.loc));
     let mut fac_metro: HashMap<u32, usize> = HashMap::new();
-    for (f, mid) in snaps.pdb_facilities.iter().zip(fac_assignments) {
+    for (f, mid) in pdb_facilities.iter().zip(fac_assignments) {
         let Some(mid) = mid else {
             continue;
         };
@@ -135,7 +139,7 @@ fn load_physical(
     // keeping the table byte-identical at any worker count.
     let mut seen_pairs: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut link_work: Vec<(usize, usize, igdb_synth::sources::LinkType)> = Vec::new();
-    for l in &snaps.atlas_links {
+    for l in atlas_links {
         let (Some(&ma), Some(&mb)) = (
             atlas_node_metro.get(&l.from_node),
             atlas_node_metro.get(&l.to_node),
@@ -258,9 +262,44 @@ pub struct Igdb {
 }
 
 impl Igdb {
-    /// Runs the full pipeline over one snapshot set.
+    /// Runs the full pipeline over one snapshot set, requiring it to be
+    /// pristine. Equivalent to [`Igdb::try_build`] under
+    /// [`BuildPolicy::strict`], except that faults panic — the legacy
+    /// contract existing callers rely on. Anything ingesting real-world
+    /// (or possibly corrupted) snapshots should use `try_build`.
+    ///
+    /// # Panics
+    /// Panics on the first faulty record or missing required source.
     pub fn build(snaps: &SnapshotSet) -> Self {
-        let date = snaps.as_of_date.clone();
+        match Self::try_build(snaps, &BuildPolicy::strict()) {
+            Ok((igdb, _)) => igdb,
+            Err(e) => panic!("Igdb::build on faulty input (use try_build): {e}"),
+        }
+    }
+
+    /// Runs the full pipeline with fault tolerance. Snapshots are screened
+    /// against `policy` first (see [`crate::validate`]): bad records land
+    /// in the report's quarantine with source/index/reason provenance,
+    /// optional sources degrade (or are dropped past the policy's bad-row
+    /// threshold), and only an unusable *required* source — the metro
+    /// catalogue or the road network — or any fault under a fail-fast
+    /// policy aborts the build, with a typed error rather than a panic.
+    ///
+    /// On clean input the output database is byte-identical to
+    /// [`Igdb::build`]'s at any worker count, and the report
+    /// [`BuildReport::is_clean`].
+    pub fn try_build(
+        snaps: &SnapshotSet,
+        policy: &BuildPolicy,
+    ) -> Result<(Igdb, BuildReport), BuildError> {
+        let (clean, report) = validate(snaps, policy)?;
+        Ok((Self::build_validated(&clean), report))
+    }
+
+    /// The build proper. Assumes `snaps` passed validation: endpoints in
+    /// range, parallel arrays aligned, coordinates finite, ids unique.
+    fn build_validated(snaps: &CleanSnapshots<'_>) -> Self {
+        let date = snaps.as_of_date.to_string();
         let metros = MetroRegistry::build(&snaps.natural_earth);
         let roads = RoadGraph::build(metros.len(), &snaps.roads);
         let db = Database::new();
@@ -328,7 +367,15 @@ impl Igdb {
         };
 
         // --- phys_nodes / phys_conn (shared with snapshot refresh). ---
-        let (_atlas_node_metro, fac_metro) = load_physical(&db, &metros, &roads, snaps, &date);
+        let (_atlas_node_metro, fac_metro) = load_physical(
+            &db,
+            &metros,
+            &roads,
+            &snaps.atlas_nodes,
+            &snaps.atlas_links,
+            &snaps.pdb_facilities,
+            &date,
+        );
 
         let phys_pairs = phys_pairs_for(&db, &date);
 
@@ -342,7 +389,7 @@ impl Igdb {
             .collect();
         let landing_assignments = igdb_par::par_map(&landing_locs, |loc| metros.metro_of(loc));
         let mut landing_iter = landing_assignments.into_iter();
-        for c in &snaps.telegeo {
+        for c in snaps.telegeo.iter() {
             for (lname, _, loc) in &c.landings {
                 let Some(mid) = landing_iter.next().expect("one assignment per landing") else {
                     continue;
@@ -382,7 +429,7 @@ impl Igdb {
         }
 
         // --- Logical names: asn_name / asn_org (inconsistencies kept). ---
-        for e in &snaps.asrank_entries {
+        for e in snaps.asrank_entries.iter() {
             db.insert(
                 "asn_name",
                 vec![
@@ -404,7 +451,7 @@ impl Igdb {
             )
             .expect("asn_org row");
         }
-        for n in &snaps.pdb_networks {
+        for n in snaps.pdb_networks.iter() {
             db.insert(
                 "asn_name",
                 vec![
@@ -427,7 +474,7 @@ impl Igdb {
             .expect("asn_org row");
         }
         let mut pch_orgs: BTreeSet<(u32, String)> = BTreeSet::new();
-        for x in &snaps.pch_ixps {
+        for x in snaps.pch_ixps.iter() {
             for (asn, org) in x.member_asns.iter().zip(&x.member_orgs) {
                 pch_orgs.insert((asn.0, org.clone()));
             }
@@ -446,7 +493,7 @@ impl Igdb {
         }
 
         // --- asn_conn. ---
-        for &(a, b) in &snaps.asrank_links {
+        for &(a, b) in snaps.asrank_links.iter() {
             db.insert(
                 "asn_conn",
                 vec![
@@ -468,7 +515,7 @@ impl Igdb {
         let mut ixp_metro: HashMap<u32, usize> = HashMap::new();
         let mut ixp_lans: Vec<Prefix> = Vec::new();
         let mut ixp_prefix_metro: Vec<(Prefix, usize)> = Vec::new();
-        for ix in &snaps.pdb_ix {
+        for ix in snaps.pdb_ix.iter() {
             let Some(mid) = resolve_label(&ix.city_label) else {
                 continue;
             };
@@ -492,7 +539,7 @@ impl Igdb {
         // --- asn_loc: facilities, IXP memberships, PCH/EuroIX echoes. ---
         // (asn, metro, source) → remote flag, deduped.
         let mut netfac_metros: HashMap<Asn, BTreeSet<usize>> = HashMap::new();
-        for nf in &snaps.pdb_netfac {
+        for nf in snaps.pdb_netfac.iter() {
             let (Some(&asn), Some(&mid)) = (net_asn.get(&nf.net_id), fac_metro.get(&nf.fac_id))
             else {
                 continue;
@@ -521,7 +568,7 @@ impl Igdb {
                 None => false, // nothing declared anywhere: cannot say
             }
         };
-        for nix in &snaps.pdb_netix {
+        for nix in snaps.pdb_netix.iter() {
             let (Some(&asn), Some(&mid)) = (net_asn.get(&nix.net_id), ixp_metro.get(&nix.ix_id))
             else {
                 continue;
@@ -532,7 +579,7 @@ impl Igdb {
                 .and_modify(|r| *r = *r && remote)
                 .or_insert(remote);
         }
-        for x in &snaps.pch_ixps {
+        for x in snaps.pch_ixps.iter() {
             let Some(mid) = resolve_label(&x.city_label) else {
                 continue;
             };
@@ -569,7 +616,7 @@ impl Igdb {
         // Anchor spatial joins fan out in parallel; inserts stay serial
         // and in input order (see load_physical).
         let anchor_assignments =
-            igdb_par::par_map(&snaps.ripe_anchors, |a| metros.metro_of(&a.loc));
+            igdb_par::par_map(&snaps.ripe_anchors[..], |a| metros.metro_of(&a.loc));
         let mut probes = HashMap::new();
         for (a, mid) in snaps.ripe_anchors.iter().zip(anchor_assignments) {
             let Some(mid) = mid else {
@@ -599,7 +646,7 @@ impl Igdb {
             )
             .expect("probes row");
         }
-        for tr in &snaps.ripe_traceroutes {
+        for tr in snaps.ripe_traceroutes.iter() {
             for h in &tr.hops {
                 db.insert(
                     "traceroutes",
@@ -732,7 +779,7 @@ impl Igdb {
             rdns,
             asn_metros,
             phys_pairs,
-            traces: snaps.ripe_traceroutes.clone(),
+            traces: snaps.ripe_traceroutes.to_vec(),
             probes,
         }
     }
@@ -795,8 +842,16 @@ impl Igdb {
             date, self.as_of_date,
             "snapshot for {date} already loaded"
         );
-        load_physical(&self.db, &self.metros, &self.roads, snaps, &date);
-        for &(a, b) in &snaps.asrank_links {
+        load_physical(
+            &self.db,
+            &self.metros,
+            &self.roads,
+            &snaps.atlas_nodes,
+            &snaps.atlas_links,
+            &snaps.pdb_facilities,
+            &date,
+        );
+        for &(a, b) in snaps.asrank_links.iter() {
             self.db
                 .insert(
                     "asn_conn",

@@ -37,9 +37,15 @@ pub mod metros;
 pub mod roads;
 pub mod schema;
 pub mod spath;
+pub mod validate;
 
 pub use bdrmap::{BdrMap, IpOrigin};
 pub use build::{Igdb, IpInfo, LocationSource};
+pub use igdb_fault::{
+    BuildError, BuildPolicy, BuildReport, Quarantine, QuarantinedRecord, RecordError,
+    SourceFailure, SourceHealth, SourceId,
+};
+pub use validate::CleanSnapshots;
 pub use hoiho::HoihoEngine;
 pub use metros::{Metro, MetroRegistry};
 pub use roads::RoadGraph;

@@ -75,8 +75,21 @@ impl MetroRegistry {
         self.metros.is_empty()
     }
 
+    /// The metro with this id.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range id; ids from a different (e.g. degraded)
+    /// build are not interchangeable — use [`MetroRegistry::try_metro`]
+    /// when the id's provenance is uncertain.
     pub fn metro(&self, id: usize) -> &Metro {
         &self.metros[id]
+    }
+
+    /// The metro with this id, or `None` when the id is not in the
+    /// registry (ids shift when a degraded build quarantines part of the
+    /// catalogue, so foreign ids must be looked up fallibly).
+    pub fn try_metro(&self, id: usize) -> Option<&Metro> {
+        self.metros.get(id)
     }
 
     pub fn metros(&self) -> &[Metro] {

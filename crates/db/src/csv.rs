@@ -61,9 +61,35 @@ pub fn table_to_csv(table: &Table) -> String {
     out
 }
 
+/// One data row the lenient reader could not load: its 1-based file line
+/// (header lines included) and the typed reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowIssue {
+    pub line: usize,
+    pub error: DbError,
+}
+
+impl std::fmt::Display for RowIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
 /// Parses CSV text (in the format written by [`table_to_csv`]) back into a
-/// table.
+/// table, rejecting the whole file on the first malformed row.
 pub fn table_from_csv(text: &str) -> Result<Table> {
+    let (table, issues) = table_from_csv_lenient(text)?;
+    match issues.into_iter().next() {
+        Some(issue) => Err(DbError::Format(issue.to_string())),
+        None => Ok(table),
+    }
+}
+
+/// Parses CSV text tolerating malformed *data rows*: every loadable row goes
+/// into the table, every bad one becomes a [`RowIssue`]. Header problems
+/// (missing `#types`, arity mismatch, unknown type tags) are still fatal —
+/// without a schema nothing is loadable.
+pub fn table_from_csv_lenient(text: &str) -> Result<(Table, Vec<RowIssue>)> {
     let mut lines = split_records(text);
     let type_line = lines
         .next()
@@ -98,26 +124,43 @@ pub fn table_from_csv(text: &str) -> Result<Table> {
     }
     let schema = Schema::new(columns);
     let mut table = Table::new(schema);
+    let mut issues = Vec::new();
     for (lineno, line) in lines.enumerate() {
         if line.is_empty() {
             continue;
         }
-        let fields = parse_record(&line)?;
-        if fields.len() != table.schema().len() {
-            return Err(DbError::Format(format!(
-                "data row {} has {} fields, schema has {}",
-                lineno + 3,
-                fields.len(),
-                table.schema().len()
-            )));
+        match parse_row(&line, &table) {
+            Ok(row) => {
+                if let Err(e) = table.insert(row) {
+                    issues.push(RowIssue {
+                        line: lineno + 3,
+                        error: e,
+                    });
+                }
+            }
+            Err(e) => issues.push(RowIssue {
+                line: lineno + 3,
+                error: e,
+            }),
         }
-        let mut row = Vec::with_capacity(fields.len());
-        for (f, c) in fields.iter().zip(table.schema().columns().to_vec()) {
-            row.push(parse_value(f, &c)?);
-        }
-        table.insert(row)?;
     }
-    Ok(table)
+    Ok((table, issues))
+}
+
+fn parse_row(line: &str, table: &Table) -> Result<Vec<Value>> {
+    let fields = parse_record(line)?;
+    if fields.len() != table.schema().len() {
+        return Err(DbError::Format(format!(
+            "row has {} fields, schema has {}",
+            fields.len(),
+            table.schema().len()
+        )));
+    }
+    let mut row = Vec::with_capacity(fields.len());
+    for (f, c) in fields.iter().zip(table.schema().columns()) {
+        row.push(parse_value(f, c)?);
+    }
+    Ok(row)
 }
 
 /// Writes a table to a file.
@@ -129,6 +172,12 @@ pub fn save_table(table: &Table, path: &std::path::Path) -> Result<()> {
 pub fn load_table(path: &std::path::Path) -> Result<Table> {
     let text = std::fs::read_to_string(path).map_err(|e| DbError::Io(e.to_string()))?;
     table_from_csv(&text)
+}
+
+/// Reads a table from a file, collecting malformed rows instead of failing.
+pub fn load_table_lenient(path: &std::path::Path) -> Result<(Table, Vec<RowIssue>)> {
+    let text = std::fs::read_to_string(path).map_err(|e| DbError::Io(e.to_string()))?;
+    table_from_csv_lenient(&text)
 }
 
 /// One parsed CSV field: raw content plus whether it was quoted (which
@@ -326,6 +375,47 @@ mod tests {
     fn null_in_required_column_rejected_on_load() {
         let csv = "#types,int,text\nasn,name\n,missing-asn\n";
         assert!(table_from_csv(csv).is_err());
+    }
+
+    #[test]
+    fn lenient_reader_keeps_good_rows_and_lines_up_issues() {
+        // Line 3 ok, 4 truncated (arity), 5 bad float, 6 ok, 7 null in a
+        // required column, 8 unterminated quote (which runs to EOF, so it
+        // must come last to leave the other rows intact).
+        let csv = "#types,int,text,float\n\
+                   asn,name,lat\n\
+                   174,Cogent,40.5\n\
+                   13335,Cloudflare\n\
+                   3356,Lumen,not-a-float\n\
+                   6939,HE,37.7\n\
+                   ,NoAsn,1.0\n\
+                   701,\"Verizon,-10.0\n";
+        let (table, issues) = table_from_csv_lenient(csv).unwrap();
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.row(0).unwrap()[0], Value::Int(174));
+        assert_eq!(table.row(1).unwrap()[1], Value::text("HE"));
+        let lines: Vec<usize> = issues.iter().map(|i| i.line).collect();
+        assert_eq!(lines, vec![4, 5, 7, 8]);
+        assert!(issues[1].error.to_string().contains("bad float"));
+        // The strict reader rejects the same text outright, citing the
+        // first bad line.
+        let err = table_from_csv(csv).err().expect("strict must reject");
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+
+    #[test]
+    fn lenient_reader_still_fails_on_broken_headers() {
+        assert!(table_from_csv_lenient("").is_err());
+        assert!(table_from_csv_lenient("asn,name\n1,x\n").is_err());
+        assert!(table_from_csv_lenient("#types,int\na,b\n").is_err());
+        assert!(table_from_csv_lenient("#types,widget\na\n").is_err());
+    }
+
+    #[test]
+    fn lenient_reader_reports_nothing_on_clean_input() {
+        let (table, issues) = table_from_csv_lenient(&table_to_csv(&sample())).unwrap();
+        assert_eq!(table.len(), 3);
+        assert!(issues.is_empty());
     }
 
     #[test]

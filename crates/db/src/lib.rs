@@ -29,6 +29,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use csv::{load_table_lenient, table_from_csv_lenient, RowIssue};
 pub use database::Database;
 pub use query::{Aggregate, Predicate, Query};
 pub use schema::{ColumnDef, ColumnType, Schema};

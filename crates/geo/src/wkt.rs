@@ -453,6 +453,41 @@ mod tests {
         assert!(parse_wkt("POINT (nanna 2)").is_err());
     }
 
+    /// Truncated inputs — the shapes a half-written snapshot file produces —
+    /// must come back as typed errors pointing at the cut, never panics.
+    #[test]
+    fn truncated_inputs_give_typed_errors() {
+        let unterminated = "POLYGON ((0 0, 1 1, 2 2, 0 0";
+        let e = parse_wkt(unterminated).err().expect("must reject");
+        assert!(e.offset <= unterminated.len(), "offset {} past end", e.offset);
+        assert!(!e.message.is_empty());
+
+        let cut_mid_pair = "LINESTRING (0 0, 1";
+        let e = parse_wkt(cut_mid_pair).err().expect("must reject");
+        assert!(e.offset >= "LINESTRING (".len(), "offset was {}", e.offset);
+
+        for cut in [
+            "POINT (",
+            "POINT (1 ",
+            "MULTILINESTRING ((0 0, 1 1), (2 2",
+            "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 0))",
+            "LINESTRING (0 0,",
+        ] {
+            assert!(parse_wkt(cut).is_err(), "accepted truncation: {cut:?}");
+        }
+    }
+
+    /// Every prefix of a valid document is handled — `Ok` only for prefixes
+    /// that happen to be complete geometries, `Err` otherwise, no panics.
+    #[test]
+    fn all_prefixes_of_valid_wkt_are_handled() {
+        let full = "MULTIPOLYGON (((0 0, 4 0, 4 4, 0 0), (1 1, 2 1, 1 2, 1 1)))";
+        for end in 0..full.len() {
+            let _ = parse_wkt(&full[..end]);
+        }
+        assert!(parse_wkt(full).is_ok());
+    }
+
     #[test]
     fn error_carries_offset() {
         let e = parse_wkt("POINT (1 2) junk").unwrap_err();

@@ -29,6 +29,7 @@
 pub mod ases;
 pub mod cables;
 pub mod cities;
+pub mod faults;
 pub mod intertubes;
 pub mod naming;
 pub mod rightofway;
@@ -39,6 +40,7 @@ pub mod world;
 pub use ases::{AsClass, AsCounts, AsEcosystem, RdnsStyle, SynthAs};
 pub use cables::Cable;
 pub use cities::{City, Continent, REAL_CITIES};
+pub use faults::{inject_faults, FaultClass, InjectedFault};
 pub use naming::{GeoCodebook, HoihoRule, TokenKind};
 pub use rightofway::RowNetwork;
 pub use scenarios::Scenarios;
