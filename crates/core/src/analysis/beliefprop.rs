@@ -61,6 +61,7 @@ pub struct BeliefPropReport {
 /// Runs the belief propagation. Does not mutate `igdb`; call
 /// [`apply_inferences`] to push the tuples into `asn_loc`.
 pub fn propagate(igdb: &Igdb, params: &BeliefPropParams) -> BeliefPropReport {
+    let _span = igdb_obs::span("analysis.beliefprop");
     // Seed locations.
     let mut located: HashMap<Ip4, usize> = igdb
         .ip_info
@@ -193,6 +194,7 @@ impl ConsistencyReport {
 
 /// Runs the hold-one-out consistency evaluation over seeded addresses.
 pub fn consistency_check(igdb: &Igdb, params: &BeliefPropParams) -> ConsistencyReport {
+    let _span = igdb_obs::span("analysis.beliefprop.consistency");
     // Final located set (seeds only — one round of neighbour votes tells
     // us what propagation *would* say about each seed).
     let located: HashMap<Ip4, usize> = igdb

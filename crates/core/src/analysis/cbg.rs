@@ -39,6 +39,7 @@ pub struct CbgEstimate {
 /// estimates sorted by address. Only addresses with at least
 /// `min_constraints` observing probes are estimated.
 pub fn geolocate_unlocated(igdb: &Igdb, min_constraints: usize) -> Vec<CbgEstimate> {
+    let _span = igdb_obs::span("analysis.cbg");
     // Gather constraints: for each (src probe, hop) pair the hop's RTT
     // bounds its distance from the probe.
     let mut constraints: HashMap<Ip4, Vec<Constraint>> = HashMap::new();

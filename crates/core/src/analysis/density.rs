@@ -27,6 +27,7 @@ pub struct DensityReport {
 
 /// Computes the Figure 10 density distribution.
 pub fn node_density(igdb: &Igdb) -> DensityReport {
+    let _span = igdb_obs::span("analysis.density");
     let groups = igdb
         .db
         .with_table("phys_nodes", |t| {

@@ -20,6 +20,7 @@ pub struct MapExport {
 
 /// Extracts the three layers from the database.
 pub fn export_physical_map(igdb: &Igdb) -> MapExport {
+    let _span = igdb_obs::span("analysis.export");
     let node_points = igdb
         .db
         .with_table("phys_nodes", |t| {

@@ -23,6 +23,7 @@ pub struct CountryPresenceRow {
 /// ASes with physical presence in the most countries (Table 2).
 /// `limit` bounds the rows returned (the paper prints 11).
 pub fn top_by_countries(igdb: &Igdb, limit: usize) -> Vec<CountryPresenceRow> {
+    let _span = igdb_obs::span("analysis.footprint");
     // GROUP BY asn, COUNT(DISTINCT country) over asn_loc — non-inferred
     // rows only, matching the paper's baseline footprints.
     let groups = igdb
@@ -91,6 +92,7 @@ pub struct OverlapReport {
 
 /// Computes the geographic overlap of two organizations (Figure 6).
 pub fn org_overlap(igdb: &Igdb, org_a: &str, org_b: &str) -> OverlapReport {
+    let _span = igdb_obs::span("analysis.footprint.overlap");
     let asns_a = igdb.asns_of_org(org_a);
     let asns_b = igdb.asns_of_org(org_b);
     let metros = |asns: &[Asn]| -> Vec<usize> {

@@ -41,6 +41,7 @@ pub struct FusionReport {
 /// backfilling Hoiho-less hops with CBG latency geolocation exactly as the
 /// paper backfills with "RIPE geolocation services" (§4.5).
 pub fn fuse(igdb: &Igdb, hop_ips: &[Ip4]) -> FusionReport {
+    let _span = igdb_obs::span("analysis.fusion");
     // CBG estimates for every unlocated observed address (computed once;
     // only the hops on this path are consumed).
     let cbg_map: std::collections::HashMap<Ip4, usize> = cbg::geolocate_unlocated(igdb, 2)

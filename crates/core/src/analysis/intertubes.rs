@@ -62,6 +62,7 @@ pub fn compare_with_width(
     longhaul: &[LongHaulLink],
     corridor_km: f64,
 ) -> IntertubesReport {
+    let _span = igdb_obs::span("analysis.intertubes");
     // Collect iGDB inferred path geometries.
     let igdb_paths: Vec<Vec<GeoPoint>> = igdb
         .db

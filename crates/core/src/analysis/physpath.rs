@@ -256,6 +256,10 @@ pub fn physical_path_reports_with(
     graph: &PhysGraph,
     traces: &[Vec<Ip4>],
 ) -> Vec<Option<PhysicalPathReport>> {
+    // Span opened here in serial code only; the per-trace work below runs
+    // inside par workers, which never open spans (determinism rule 2).
+    let _span = igdb_obs::span("analysis.physpath.batch");
+    igdb_obs::counter("physpath.traces", "", traces.len() as u64);
     igdb_par::par_map(traces, |hops| physical_path_report_with(igdb, graph, hops))
 }
 

@@ -28,6 +28,7 @@ pub struct RiskReport {
 
 /// Computes exposure of the physical layer to a hazard polygon.
 pub fn exposure(igdb: &Igdb, region: &Polygon) -> RiskReport {
+    let _span = igdb_obs::span("analysis.risk");
     let mut paths_at_risk = Vec::new();
     igdb.db
         .with_table("phys_conn", |t| {
@@ -96,6 +97,7 @@ pub enum Reroute {
 /// Computes the reroute outcome for `(from, to)` when every physical path
 /// crossing `region` fails.
 pub fn reroute(igdb: &Igdb, region: &Polygon, from: usize, to: usize) -> Option<Reroute> {
+    let _span = igdb_obs::span("analysis.risk.reroute");
     let report = exposure(igdb, region);
     let failed: std::collections::HashSet<(usize, usize)> = report
         .paths_at_risk

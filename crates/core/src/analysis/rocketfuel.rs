@@ -45,6 +45,7 @@ pub struct RocketfuelReport {
 
 /// Maps a Rocketfuel-style logical map onto iGDB physical corridors.
 pub fn remap(igdb: &Igdb, map: &RocketfuelMap) -> RocketfuelReport {
+    let _span = igdb_obs::span("analysis.rocketfuel");
     let graph = PhysGraph::from_igdb(igdb);
     let mut edges = Vec::with_capacity(map.edges.len());
     let mut segments: BTreeSet<(usize, usize)> = BTreeSet::new();

@@ -13,14 +13,76 @@
 //! igdb export --db ./igdb-db --out map.geojson     # the Figure 5 layers
 //! ```
 
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use igdb_core::{BuildPolicy, Igdb};
+use igdb_core::{BuildError, BuildPolicy, Igdb};
 use igdb_db::{Database, Predicate, Query, Value};
 use igdb_geo::{GeoPoint, NearestSiteIndex};
 use igdb_synth::faults::FaultClass;
 use igdb_synth::{emit_snapshots, inject_faults, World, WorldConfig};
+
+/// Typed CLI failure: every exit path renders through this, so file-IO
+/// errors carry the path and action instead of a bare `io::Error` string.
+enum CliError {
+    /// Bad arguments or a domain-level complaint.
+    Usage(String),
+    /// The pipeline refused the input (or caught an internal accounting
+    /// bug).
+    Build(BuildError),
+    /// A file operation failed; `path` and `action` say which one.
+    Io {
+        path: PathBuf,
+        action: &'static str,
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Build(e) => write!(f, "build failed: {e}"),
+            CliError::Io {
+                path,
+                action,
+                source,
+            } => write!(f, "cannot {action} {}: {source}", path.display()),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl From<BuildError> for CliError {
+    fn from(e: BuildError) -> Self {
+        CliError::Build(e)
+    }
+}
+
+/// Wraps a file operation with path/action provenance.
+fn io_ctx<T>(
+    r: Result<T, std::io::Error>,
+    action: &'static str,
+    path: &Path,
+) -> Result<T, CliError> {
+    r.map_err(|source| CliError::Io {
+        path: path.to_path_buf(),
+        action,
+        source,
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,15 +92,16 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "build" => cmd_build(&args[1..]),
-        "tables" => cmd_tables(&args[1..]),
-        "query" => cmd_query(&args[1..]),
-        "metro" => cmd_metro(&args[1..]),
-        "export" => cmd_export(&args[1..]),
+        "tables" => cmd_tables(&args[1..]).map_err(CliError::from),
+        "query" => cmd_query(&args[1..]).map_err(CliError::from),
+        "metro" => cmd_metro(&args[1..]).map_err(CliError::from),
+        "export" => cmd_export(&args[1..]).map_err(CliError::from),
+        "metrics" => cmd_metrics(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command '{other}'\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -54,13 +117,17 @@ usage: igdb <command> [options]
 
 commands:
   build   --out DIR [--scale tiny|medium] [--date YYYY-MM-DD] [--mesh N]
-          [--policy strict|lenient] [--drop-above FRAC] [--report]
-          [--corrupt SEED]
+          [--policy strict|lenient] [--drop-above FRAC] [--report [FILE]]
+          [--corrupt SEED] [--metrics FILE.jsonl] [--trace]
           generate source snapshots, run the pipeline, save the database;
-          --report prints per-source ingestion health, --corrupt injects
-          seeded faults into every source (a fault-tolerance demo)
+          --report prints per-source ingestion health (or writes it to
+          FILE), --corrupt injects seeded faults into every source (a
+          fault-tolerance demo), --metrics writes pipeline counters and
+          spans as JSON-lines, --trace prints the span tree to stderr
   tables  --db DIR
           list relations and row counts
+  metrics --in FILE.jsonl
+          render a saved --metrics JSON-lines stream as a table
   query   --db DIR --table NAME [--where col=value ...] [--select a,b,c]
           [--limit N] [--order col[:desc]]
   metro   --db DIR --lon X --lat Y
@@ -94,7 +161,7 @@ fn require(args: &[String], name: &str) -> Result<String, String> {
     flag(args, name).ok_or_else(|| format!("missing required option {name}"))
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let out = PathBuf::from(require(args, "--out")?);
     let scale = flag(args, "--scale").unwrap_or_else(|| "tiny".into());
     let date = flag(args, "--date").unwrap_or_else(|| "2022-05-03".into());
@@ -105,12 +172,14 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     let config = match scale.as_str() {
         "tiny" => WorldConfig::tiny(),
         "medium" => WorldConfig::medium(),
-        other => return Err(format!("unknown --scale '{other}' (tiny|medium)")),
+        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
     };
     let policy = match flag(args, "--policy").as_deref() {
         None | Some("lenient") => BuildPolicy::lenient(),
         Some("strict") => BuildPolicy::strict(),
-        Some(other) => return Err(format!("unknown --policy '{other}' (strict|lenient)")),
+        Some(other) => {
+            return Err(format!("unknown --policy '{other}' (strict|lenient)").into())
+        }
     };
     let policy = match flag(args, "--drop-above") {
         Some(frac) => {
@@ -122,7 +191,27 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         }
         None => policy,
     };
-    let want_report = args.iter().any(|a| a == "--report");
+    // --report takes an optional FILE operand: bare prints to stdout.
+    let report_dest: Option<Option<PathBuf>> =
+        args.iter().position(|a| a == "--report").map(|i| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .map(PathBuf::from)
+        });
+    let metrics_path = flag(args, "--metrics").map(PathBuf::from);
+    let want_trace = args.iter().any(|a| a == "--trace");
+
+    // Open output destinations *before* paying for the build, so an
+    // unwritable --metrics/--report path fails fast with a typed error.
+    use std::io::Write as _;
+    let mut metrics_file = match &metrics_path {
+        Some(p) => Some(io_ctx(std::fs::File::create(p), "create metrics file", p)?),
+        None => None,
+    };
+    let mut report_file = match &report_dest {
+        Some(Some(p)) => Some(io_ctx(std::fs::File::create(p), "create report file", p)?),
+        _ => None,
+    };
 
     eprintln!("generating world ({scale})…");
     let world = World::generate(config);
@@ -134,18 +223,60 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         eprintln!("injected {} faults (seed {seed})…", ledger.len());
     }
     eprintln!("building database…");
-    let (igdb, report) = Igdb::try_build(&snaps, &policy).map_err(|e| e.to_string())?;
-    if want_report {
-        println!("{report}");
-    } else if !report.is_clean() {
-        eprintln!(
+    let registry = igdb_obs::Registry::new();
+    let (igdb, report) = {
+        let _g = registry.install();
+        Igdb::try_build(&snaps, &policy)?
+    };
+    match &report_dest {
+        Some(None) => println!("{report}"),
+        Some(Some(p)) => {
+            let f = report_file.as_mut().expect("opened above");
+            io_ctx(write!(f, "{report}"), "write report file", p)?;
+        }
+        None if !report.is_clean() => eprintln!(
             "warning: {} records quarantined, {} sources dropped (rerun with --report)",
             report.total_quarantined(),
             report.dropped_sources().len()
-        );
+        ),
+        None => {}
+    }
+    if let Some(f) = &mut metrics_file {
+        let p = metrics_path.as_ref().expect("path implies file");
+        io_ctx(
+            f.write_all(registry.json_lines(igdb_obs::JsonMode::Full).as_bytes()),
+            "write metrics file",
+            p,
+        )?;
+        eprintln!("wrote metrics to {}", p.display());
+    }
+    if want_trace {
+        eprint!("{}", render_spans(&registry));
     }
     igdb.db.save_dir(&out).map_err(|e| e.to_string())?;
     eprintln!("saved {} relations to {}", igdb.db.table_names().len(), out.display());
+    Ok(())
+}
+
+/// The span tree, indented by depth, durations in ms.
+fn render_spans(reg: &igdb_obs::Registry) -> String {
+    let mut out = String::new();
+    for s in reg.spans() {
+        let dur = s
+            .dur_us
+            .map(|d| format!("{:.3} ms", d as f64 / 1000.0))
+            .unwrap_or_else(|| "(open)".to_string());
+        out.push_str(&format!("{}{} {}\n", "  ".repeat(s.depth), s.name, dur));
+    }
+    out
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
+    let input = PathBuf::from(require(args, "--in")?);
+    let doc = io_ctx(std::fs::read_to_string(&input), "read metrics file", &input)?;
+    let reg = igdb_obs::Registry::from_json_lines(&doc)
+        .map_err(|e| format!("malformed metrics file {}: {e}", input.display()))?;
+    print!("{}", reg.render_table());
     Ok(())
 }
 

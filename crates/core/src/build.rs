@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use igdb_db::{Database, Value};
-use igdb_fault::{BuildError, BuildPolicy, BuildReport};
+use igdb_fault::{BuildError, BuildPolicy, BuildReport, SourceId};
 use igdb_geo::{to_wkt, Geometry, LineString, MultiLineString};
 use igdb_net::{Asn, Ip4, Prefix};
 use igdb_synth::sources::{AtlasLink, AtlasNode, PdbFacility, RipeTraceroute, SnapshotSet};
@@ -81,6 +81,8 @@ fn load_physical(
     // Spatial joins are embarrassingly parallel; row insertion stays
     // serial and in input order so the loaded tables are byte-identical
     // regardless of worker count.
+    let _span = igdb_obs::span("build.physical");
+    let join_span = igdb_obs::span("physical.spatial_join");
     let atlas_assignments = igdb_par::par_map(atlas_nodes, |n| metros.metro_of(&n.loc));
     let mut atlas_node_metro: HashMap<String, usize> = HashMap::new();
     for (n, mid) in atlas_nodes.iter().zip(atlas_assignments) {
@@ -130,6 +132,8 @@ fn load_physical(
         .expect("phys_nodes row");
     }
 
+    drop(join_span);
+
     // Atlas edges → shortest right-of-way paths, deduped per metro pair.
     // Dedup runs serially (first-seen order defines the output), then
     // roadway routing — the expensive part — fans out with one shortest-
@@ -159,6 +163,7 @@ fn load_physical(
         .filter(|&i| matches!(link_work[i].2, igdb_synth::sources::LinkType::Roadway))
         .collect();
     roadway_order.sort_by_key(|&i| link_work[i].0);
+    let routing_span = igdb_obs::span("physical.routing");
     let mut routed: Vec<Option<(f64, Vec<igdb_geo::GeoPoint>)>> = vec![None; link_work.len()];
     for chunk in igdb_par::par_chunks(&roadway_order, |_, chunk| {
         let mut ws = crate::spath::SpWorkspace::new();
@@ -177,6 +182,7 @@ fn load_physical(
             routed[i] = route;
         }
     }
+    drop(routing_span);
     for (i, &(ka, kb, link_type)) in link_work.iter().enumerate() {
         let key = (ka, kb);
         // Right-of-way class decides the path model (paper §5): roadway
@@ -185,7 +191,9 @@ fn load_physical(
         let (km, geom, row_type) = match link_type {
             igdb_synth::sources::LinkType::Roadway => {
                 let Some((km, geom)) = routed[i].take() else {
-                    continue; // no terrestrial right-of-way (e.g. across an ocean)
+                    // no terrestrial right-of-way (e.g. across an ocean)
+                    igdb_obs::counter("build.route_misses", "", 1);
+                    continue;
                 };
                 (km, geom, "roadway")
             }
@@ -196,6 +204,7 @@ fn load_physical(
                 (km, arc, "microwave")
             }
         };
+        igdb_obs::counter("build.phys_conn", row_type, 1);
         let (fm, tm) = (metros.metro(key.0), metros.metro(key.1));
         db.insert(
             "phys_conn",
@@ -292,22 +301,78 @@ impl Igdb {
         snaps: &SnapshotSet,
         policy: &BuildPolicy,
     ) -> Result<(Igdb, BuildReport), BuildError> {
+        let _span = igdb_obs::span("pipeline");
+        // The ingestion counters accumulate across builds sharing one
+        // registry, so the report cross-check compares per-source *deltas*
+        // against a baseline captured before validation runs.
+        let reg = igdb_obs::current();
+        let baseline: Vec<[u64; 3]> = match &reg {
+            Some(r) => SourceId::ALL
+                .iter()
+                .map(|s| {
+                    [
+                        r.counter_value("ingest.rows_in", s.name()),
+                        r.counter_value("ingest.rows_accepted", s.name()),
+                        r.counter_value("ingest.rows_quarantined", s.name()),
+                    ]
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         let (clean, report) = validate(snaps, policy)?;
+        // Two independent views of the same accounting — the quarantine
+        // ledger inside the report, and the observability counters — must
+        // agree exactly; divergence is a pipeline bug, typed, never silent.
+        report.crosscheck()?;
+        if let Some(r) = &reg {
+            for (s, base) in SourceId::ALL.iter().zip(&baseline) {
+                let h = report.health(*s);
+                let got = [
+                    r.counter_value("ingest.rows_in", s.name()) - base[0],
+                    r.counter_value("ingest.rows_accepted", s.name()) - base[1],
+                    r.counter_value("ingest.rows_quarantined", s.name()) - base[2],
+                ];
+                let want = [
+                    h.rows_in as u64,
+                    h.rows_accepted as u64,
+                    h.rows_quarantined as u64,
+                ];
+                let what = ["rows_in counter", "rows_accepted counter", "rows_quarantined counter"];
+                for i in 0..3 {
+                    if got[i] != want[i] {
+                        return Err(BuildError::InternalAccounting {
+                            source: *s,
+                            what: what[i],
+                            expected: want[i] as usize,
+                            actual: got[i] as usize,
+                        });
+                    }
+                }
+            }
+        }
         Ok((Self::build_validated(&clean), report))
     }
 
     /// The build proper. Assumes `snaps` passed validation: endpoints in
     /// range, parallel arrays aligned, coordinates finite, ids unique.
     fn build_validated(snaps: &CleanSnapshots<'_>) -> Self {
+        let _span = igdb_obs::span("build");
         let date = snaps.as_of_date.to_string();
-        let metros = MetroRegistry::build(&snaps.natural_earth);
-        let roads = RoadGraph::build(metros.len(), &snaps.roads);
+        let metros = {
+            let _s = igdb_obs::span("build.metros");
+            MetroRegistry::build(&snaps.natural_earth)
+        };
+        let roads = {
+            let _s = igdb_obs::span("build.roads");
+            RoadGraph::build(metros.len(), &snaps.roads)
+        };
         let db = Database::new();
         for (name, sch) in schema::all_relations() {
             db.create_table(name, sch).expect("fresh database");
         }
 
         // --- city_points / city_polygons. ---
+        let city_span = igdb_obs::span("build.city_tables");
         for m in metros.metros() {
             db.insert(
                 "city_points",
@@ -346,6 +411,8 @@ impl Igdb {
             .expect("city_polygons row");
         }
 
+        drop(city_span);
+
         // Label resolver for sources that publish only text locations.
         let name_to_metro: HashMap<String, usize> = metros
             .metros()
@@ -382,6 +449,7 @@ impl Igdb {
         // --- land_points / sub_cables from Telegeography. ---
         // Landing-point spatial joins fan out in parallel; inserts stay
         // serial and in input order (see load_physical).
+        let telegeo_span = igdb_obs::span("build.telegeo");
         let landing_locs: Vec<&igdb_geo::GeoPoint> = snaps
             .telegeo
             .iter()
@@ -428,7 +496,10 @@ impl Igdb {
             .expect("sub_cables row");
         }
 
+        drop(telegeo_span);
+
         // --- Logical names: asn_name / asn_org (inconsistencies kept). ---
+        let logical_span = igdb_obs::span("build.logical");
         for e in snaps.asrank_entries.iter() {
             db.insert(
                 "asn_name",
@@ -536,8 +607,11 @@ impl Igdb {
             .expect("ixp_prefixes row");
         }
 
+        drop(logical_span);
+
         // --- asn_loc: facilities, IXP memberships, PCH/EuroIX echoes. ---
         // (asn, metro, source) → remote flag, deduped.
+        let asn_loc_span = igdb_obs::span("build.asn_loc");
         let mut netfac_metros: HashMap<Asn, BTreeSet<usize>> = HashMap::new();
         for nf in snaps.pdb_netfac.iter() {
             let (Some(&asn), Some(&mid)) = (net_asn.get(&nf.net_id), fac_metro.get(&nf.fac_id))
@@ -612,9 +686,12 @@ impl Igdb {
             asn_metros.entry(Asn(*asn)).or_default().insert(*mid);
         }
 
+        drop(asn_loc_span);
+
         // --- Probes + traceroute relation. ---
         // Anchor spatial joins fan out in parallel; inserts stay serial
         // and in input order (see load_physical).
+        let probes_span = igdb_obs::span("build.probes");
         let anchor_assignments =
             igdb_par::par_map(&snaps.ripe_anchors[..], |a| metros.metro_of(&a.loc));
         let mut probes = HashMap::new();
@@ -646,6 +723,8 @@ impl Igdb {
             )
             .expect("probes row");
         }
+        drop(probes_span);
+        let traces_span = igdb_obs::span("build.traceroutes");
         for tr in snaps.ripe_traceroutes.iter() {
             for h in &tr.hops {
                 db.insert(
@@ -667,7 +746,10 @@ impl Igdb {
             }
         }
 
+        drop(traces_span);
+
         // --- IP → AS (bdrmap), → FQDN (rDNS), → metro (Hoiho / IXP). ---
+        let ip_span = igdb_obs::span("build.ip_resolution");
         let rib: Vec<(Prefix, Asn)> = snaps
             .bgp_prefixes
             .iter()
@@ -698,6 +780,7 @@ impl Igdb {
         // sorted-address order so `ip_asn_dns` is byte-identical at any
         // worker count.
         let observed: Vec<Ip4> = observed.into_iter().collect();
+        igdb_obs::counter("build.observed_ips", "", observed.len() as u64);
         let resolved = igdb_par::par_map(&observed, |&ip| {
             let asn = bdrmap.resolve(ip).asn();
             let fqdn = rdns.get(&ip).cloned();
@@ -725,6 +808,9 @@ impl Igdb {
         });
         let mut ip_info: HashMap<Ip4, IpInfo> = HashMap::new();
         for (&ip, (asn, fqdn, anycast, metro, geo_source)) in observed.iter().zip(resolved) {
+            if let Some(g) = geo_source {
+                igdb_obs::counter("build.ip_geolocated", g.tag(), 1);
+            }
             db.insert(
                 "ip_asn_dns",
                 vec![
@@ -754,18 +840,31 @@ impl Igdb {
             );
         }
 
+        drop(ip_span);
+
         // Index the hot keys.
-        for (table, col) in [
-            ("asn_loc", "asn"),
-            ("asn_name", "asn"),
-            ("asn_org", "asn"),
-            ("asn_conn", "from_asn"),
-            ("phys_nodes", "metro_id"),
-            ("ip_asn_dns", "ip"),
-        ] {
-            db.with_table_mut(table, |t| t.create_index(col))
-                .expect("table exists")
-                .expect("column exists");
+        {
+            let _s = igdb_obs::span("build.index");
+            for (table, col) in [
+                ("asn_loc", "asn"),
+                ("asn_name", "asn"),
+                ("asn_org", "asn"),
+                ("asn_conn", "from_asn"),
+                ("phys_nodes", "metro_id"),
+                ("ip_asn_dns", "ip"),
+            ] {
+                db.with_table_mut(table, |t| t.create_index(col))
+                    .expect("table exists")
+                    .expect("column exists");
+            }
+        }
+
+        // Final per-relation row totals: these are exactly what `igdb
+        // tables` / the BuildReport consumer sees, so the CLI can assert
+        // the metrics stream agrees with the database it just wrote.
+        for table in db.table_names() {
+            let rows = db.row_count(&table).unwrap_or(0);
+            igdb_obs::counter("build.rows", table, rows as u64);
         }
 
         Igdb {

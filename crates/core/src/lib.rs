@@ -46,6 +46,10 @@ pub use igdb_fault::{
     SourceFailure, SourceHealth, SourceId,
 };
 pub use validate::CleanSnapshots;
+/// Observability layer (re-exported): install a [`igdb_obs::Registry`] to
+/// capture per-stage spans and the ingestion/build counters the pipeline
+/// emits.
+pub use igdb_obs;
 pub use hoiho::HoihoEngine;
 pub use metros::{Metro, MetroRegistry};
 pub use roads::RoadGraph;

@@ -74,6 +74,10 @@ impl SpWorkspace {
     }
 
     fn reset_for(&mut self, n: usize, source: usize) {
+        // Perf class: reset counts depend on how callers chunk work across
+        // workers (resume amortization), so they are not in the
+        // deterministic counter snapshot.
+        igdb_obs::perf("spath.resets", "", 1);
         if self.reached.len() < n {
             self.reached.resize(n, 0);
             self.settled.resize(n, 0);
@@ -175,6 +179,7 @@ impl ShortestPathEngine {
         from: usize,
         to: usize,
     ) -> Option<(Vec<usize>, f64)> {
+        igdb_obs::counter("spath.queries", "", 1);
         let n = self.node_count();
         if from >= n || to >= n {
             return None;
@@ -206,6 +211,8 @@ impl ShortestPathEngine {
     /// frontier drains.
     fn run_until_settled(&self, ws: &mut SpWorkspace, target: usize) {
         let generation = ws.generation;
+        let mut settled_now = 0u64;
+        let mut hit = false;
         while let Some((Reverse(dbits), u32u)) = ws.heap.pop() {
             let u = u32u as usize;
             let d = f64::from_bits(dbits);
@@ -215,6 +222,7 @@ impl ShortestPathEngine {
                 continue;
             }
             ws.settled[u] = generation;
+            settled_now += 1;
             for (v, w) in self.neighbors(u) {
                 let nd = d + w;
                 let fresh = ws.reached[v] != generation;
@@ -226,14 +234,22 @@ impl ShortestPathEngine {
                 }
             }
             if u == target {
-                return;
+                hit = true;
+                break;
             }
         }
-        ws.exhausted = true;
+        if !hit {
+            ws.exhausted = true;
+        }
+        // Perf class: how much of the graph each run explores depends on
+        // resume amortization, i.e. on work chunking across workers.
+        igdb_obs::perf("spath.nodes_settled", "", settled_now);
+        igdb_obs::observe("spath.settled_per_run", "", settled_now);
     }
 
     /// Total shortest-path weight `from → to` (no path reconstruction).
     pub fn distance_with(&self, ws: &mut SpWorkspace, from: usize, to: usize) -> Option<f64> {
+        igdb_obs::counter("spath.queries", "", 1);
         let n = self.node_count();
         if from >= n || to >= n {
             return None;

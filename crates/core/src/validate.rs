@@ -166,7 +166,14 @@ impl<'p> Screener<'p> {
         for (i, error) in bad {
             self.quarantine.push(source, i, key_of(&rows[i]), error);
         }
+        // Per-source conservation counters: rows_in = accepted + quarantined
+        // for every non-dropped source, asserted end-to-end by
+        // tests/observability.rs and `BuildReport::crosscheck`.
+        igdb_obs::counter("ingest.rows_in", source.name(), rows.len() as u64);
+        igdb_obs::counter("ingest.rows_quarantined", source.name(), n_bad as u64);
         if over {
+            igdb_obs::counter("ingest.rows_accepted", source.name(), 0);
+            igdb_obs::counter("ingest.sources_dropped", "", 1);
             self.healths.push(SourceHealth {
                 source,
                 rows_in: rows.len(),
@@ -176,6 +183,11 @@ impl<'p> Screener<'p> {
             });
             return Ok(Cow::Owned(Vec::new()));
         }
+        igdb_obs::counter(
+            "ingest.rows_accepted",
+            source.name(),
+            (rows.len() - n_bad) as u64,
+        );
         self.healths.push(SourceHealth {
             source,
             rows_in: rows.len(),
@@ -205,6 +217,7 @@ pub fn validate<'a>(
     snaps: &'a SnapshotSet,
     policy: &BuildPolicy,
 ) -> Result<(CleanSnapshots<'a>, BuildReport), BuildError> {
+    let _span = igdb_obs::span("validate");
     let mut s = Screener::new(policy);
 
     // Natural Earth first: everything else stands on metro ids, which are

@@ -246,6 +246,18 @@ pub enum BuildError {
         index: usize,
         error: RecordError,
     },
+    /// Internal accounting diverged: two views of the same quantity (the
+    /// quarantine ledger, the per-source health rows, the observability
+    /// counters) disagree. Always a bug in the pipeline, never in the
+    /// input data — surfaced as a typed error instead of silently shipping
+    /// numbers that don't add up.
+    InternalAccounting {
+        source: SourceId,
+        /// Which quantity diverged (e.g. `"rows_quarantined"`).
+        what: &'static str,
+        expected: usize,
+        actual: usize,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -261,6 +273,15 @@ impl fmt::Display for BuildError {
             } => write!(
                 f,
                 "strict policy: fault in '{source}' record {index}: {error}"
+            ),
+            BuildError::InternalAccounting {
+                source,
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "internal accounting error: '{source}' {what} expected {expected}, got {actual}"
             ),
         }
     }
@@ -483,6 +504,44 @@ impl BuildReport {
         self.quarantine.is_empty() && self.sources.iter().all(|h| !h.dropped)
     }
 
+    /// Verifies the report's internal accounting: per source, the
+    /// quarantine ledger must carry exactly `rows_quarantined` records,
+    /// dropped sources must have accepted nothing, and every non-dropped
+    /// source must partition its input (`accepted + quarantined ==
+    /// rows_in`). A failure is a pipeline bug, reported as
+    /// [`BuildError::InternalAccounting`].
+    pub fn crosscheck(&self) -> Result<(), BuildError> {
+        for h in &self.sources {
+            let ledger = self.quarantine.count_for(h.source);
+            if ledger != h.rows_quarantined {
+                return Err(BuildError::InternalAccounting {
+                    source: h.source,
+                    what: "quarantine ledger vs rows_quarantined",
+                    expected: h.rows_quarantined,
+                    actual: ledger,
+                });
+            }
+            if h.dropped {
+                if h.rows_accepted != 0 {
+                    return Err(BuildError::InternalAccounting {
+                        source: h.source,
+                        what: "rows_accepted from a dropped source",
+                        expected: 0,
+                        actual: h.rows_accepted,
+                    });
+                }
+            } else if h.rows_accepted + h.rows_quarantined != h.rows_in {
+                return Err(BuildError::InternalAccounting {
+                    source: h.source,
+                    what: "accepted + quarantined vs rows_in",
+                    expected: h.rows_in,
+                    actual: h.rows_accepted + h.rows_quarantined,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Sources that were dropped entirely.
     pub fn dropped_sources(&self) -> Vec<SourceId> {
         self.sources
@@ -636,6 +695,64 @@ mod tests {
         assert!(rendered.contains("DROPPED"));
         assert!(rendered.contains("degraded"));
         assert!(rendered.contains("non-finite coordinate"));
+    }
+
+    #[test]
+    fn crosscheck_accepts_consistent_and_rejects_divergent_reports() {
+        let mut sources = empty_healths();
+        {
+            let h = sources
+                .iter_mut()
+                .find(|h| h.source == SourceId::AtlasNodes)
+                .unwrap();
+            h.rows_in = 5;
+            h.rows_accepted = 4;
+            h.rows_quarantined = 1;
+        }
+        let mut q = Quarantine::new();
+        q.push(
+            SourceId::AtlasNodes,
+            3,
+            None,
+            RecordError::NonFiniteCoordinate { field: "lat" },
+        );
+        let report = BuildReport::new(sources.clone(), q.clone());
+        report.crosscheck().unwrap();
+
+        // Ledger vs health divergence.
+        let report = BuildReport::new(sources.clone(), Quarantine::new());
+        let err = report.crosscheck().unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::InternalAccounting {
+                source: SourceId::AtlasNodes,
+                expected: 1,
+                actual: 0,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("atlas_nodes"));
+
+        // Non-partitioning health row.
+        sources
+            .iter_mut()
+            .find(|h| h.source == SourceId::AtlasNodes)
+            .unwrap()
+            .rows_accepted = 3;
+        let err = BuildReport::new(sources.clone(), q.clone())
+            .crosscheck()
+            .unwrap_err();
+        assert!(err.to_string().contains("accepted + quarantined"));
+
+        // Dropped source that still claims accepted rows.
+        let h = sources
+            .iter_mut()
+            .find(|h| h.source == SourceId::AtlasNodes)
+            .unwrap();
+        h.dropped = true;
+        h.rows_accepted = 2;
+        let err = BuildReport::new(sources, q).crosscheck().unwrap_err();
+        assert!(err.to_string().contains("dropped source"));
     }
 
     #[test]

@@ -1,0 +1,985 @@
+//! `igdb-obs` — deterministic observability for the iGDB pipeline.
+//!
+//! The build pipeline is a multi-stage integration job (standardize →
+//! Voronoi join → right-of-way routing → relational load → cross-layer
+//! analyses), and per-stage accounting of how many records survive each
+//! filter is what makes its output trustworthy. This crate provides that
+//! accounting as a *tested contract* rather than println debugging:
+//!
+//! * [`Registry`] — a thread-safe sink for metrics and spans. Cheap to
+//!   clone (`Arc` inside); one registry typically covers one build.
+//! * **Counters** ([`Registry::counter_add`]) — monotonic `u64` totals
+//!   that are **worker-count invariant**: the same build must produce the
+//!   same counter values at `IGDB_THREADS=1` and `=64`. These form the
+//!   [`Registry::counter_snapshot`] determinism contract and carry the
+//!   per-source ingestion accounting that cross-checks `BuildReport`.
+//! * **Perf counters** ([`Registry::perf_add`]) — totals that legitimately
+//!   depend on scheduling (per-worker task counts, steal counts, resumable
+//!   Dijkstra workspace resets). Excluded from the deterministic snapshot.
+//! * **Histograms** ([`Registry::observe`]) — power-of-two bucketed value
+//!   distributions (span durations, nodes settled per Dijkstra run).
+//! * **Spans** ([`Registry::span`]) — hierarchical stage → sub-stage
+//!   timing on a monotonic clock. Guards nest via a thread-local stack;
+//!   [`Registry::check_span_nesting`] asserts the tree is well-formed
+//!   (children contained in parents, opens monotone, everything closed).
+//! * **Sinks** — [`Registry::render_table`] (human) and
+//!   [`Registry::json_lines`] (machine, one JSON object per line), with
+//!   [`Registry::from_json_lines`] parsing the latter back so `igdb
+//!   metrics --in file.jsonl` can re-render a saved run.
+//!
+//! # Propagation
+//!
+//! Instrumented code does not thread a handle through every signature.
+//! A registry is made *current* for a scope with [`Registry::install`]
+//! (thread-local, stacked, restored on drop); the free functions
+//! [`counter`], [`perf`], [`observe`] and [`span`] write to the current
+//! registry and are no-ops — one thread-local read — when none is
+//! installed, so un-instrumented runs (benches) pay nothing. `igdb-par`
+//! re-installs the caller's current registry inside its worker threads,
+//! so instrumentation inside parallel loops lands in the right place.
+//!
+//! # Determinism rules
+//!
+//! 1. A **counter** may only be incremented by amounts derived from the
+//!    input data, never from scheduling (chunk sizes, worker ids, timing).
+//! 2. **Spans** may only be opened from serial pipeline code, never from
+//!    inside a parallel worker, so the span list order is deterministic.
+//! 3. Timing lives in span durations and histograms only; the
+//!    [`JsonMode::Deterministic`] sink redacts it, which is what makes
+//!    golden-file tests of the metrics stream possible.
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Metric and span names: `&'static str` at instrumentation sites (no
+/// allocation), owned when parsed back from JSON-lines.
+pub type Name = Cow<'static, str>;
+
+const BUCKETS: usize = 40;
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Power-of-two bucketed `u64` distribution: bucket `i` counts values `v`
+/// with `bucket_of(v) == i`, i.e. `2^(i-1) <= v < 2^i` (bucket 0 holds 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Bucket index of a value (top buckets saturate).
+    pub fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Sparse `"bucket:count"` rendering (and JSON payload).
+    fn buckets_compact(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{i}:{c}");
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Perf(u64),
+    Hist(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Perf(_) => "perf",
+            Metric::Hist(_) => "hist",
+        }
+    }
+}
+
+/// One recorded span. `start_us` is relative to the registry's creation on
+/// a monotonic clock; `dur_us` is `None` while the span is open.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    pub name: Name,
+    /// Index of the enclosing span within the registry's span list.
+    pub parent: Option<usize>,
+    pub depth: usize,
+    pub start_us: u64,
+    pub dur_us: Option<u64>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    metrics: Mutex<BTreeMap<(Name, Name), Metric>>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// Thread-safe metric + span sink. Clones share the same storage.
+#[derive(Clone, Debug)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
+    /// Open spans on this thread: `(registry id, span index)`.
+    static SPAN_STACK: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`Registry::install`]; pops the current-registry
+/// stack on drop (including unwind).
+pub struct Installed {
+    _priv: (),
+}
+
+impl Drop for Installed {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost registry installed on this thread, if any.
+pub fn current() -> Option<Registry> {
+    CURRENT.with(|c| c.borrow().last().cloned())
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                metrics: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Identity for thread-local bookkeeping (clones share it).
+    fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Makes this registry the current sink for the free functions on the
+    /// calling thread, until the guard drops. Installs stack.
+    #[must_use = "the registry is only current until the guard drops"]
+    pub fn install(&self) -> Installed {
+        CURRENT.with(|c| c.borrow_mut().push(self.clone()));
+        Installed { _priv: () }
+    }
+
+    fn add(&self, name: Name, label: Name, delta: u64, perf: bool) {
+        let mut m = self.inner.metrics.lock().unwrap();
+        let e = m.entry((name, label)).or_insert_with(|| {
+            if perf {
+                Metric::Perf(0)
+            } else {
+                Metric::Counter(0)
+            }
+        });
+        match (e, perf) {
+            (Metric::Counter(v), false) | (Metric::Perf(v), true) => *v += delta,
+            (e, _) => panic!(
+                "metric registered as {} cannot be used as a {}",
+                e.kind(),
+                if perf { "perf counter" } else { "counter" }
+            ),
+        }
+    }
+
+    /// Adds to a deterministic counter. Counter values must be
+    /// worker-count invariant — derived from the data, never from
+    /// scheduling.
+    pub fn counter_add(&self, name: impl Into<Name>, label: impl Into<Name>, delta: u64) {
+        self.add(name.into(), label.into(), delta, false);
+    }
+
+    /// Adds to a perf counter (worker-count dependent totals: tasks per
+    /// worker, steals, workspace resets). Excluded from
+    /// [`counter_snapshot`](Self::counter_snapshot).
+    pub fn perf_add(&self, name: impl Into<Name>, label: impl Into<Name>, delta: u64) {
+        self.add(name.into(), label.into(), delta, true);
+    }
+
+    /// Records one value into a histogram (perf class).
+    pub fn observe(&self, name: impl Into<Name>, label: impl Into<Name>, value: u64) {
+        let mut m = self.inner.metrics.lock().unwrap();
+        let e = m
+            .entry((name.into(), label.into()))
+            .or_insert_with(|| Metric::Hist(Histogram::new()));
+        match e {
+            Metric::Hist(h) => h.record(value),
+            e => panic!("metric registered as {} cannot be used as a histogram", e.kind()),
+        }
+    }
+
+    /// Current value of a deterministic counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str, label: &str) -> u64 {
+        match self.lookup(name, label) {
+            Some(Metric::Counter(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Current value of a perf counter (0 if never incremented).
+    pub fn perf_value(&self, name: &str, label: &str) -> u64 {
+        match self.lookup(name, label) {
+            Some(Metric::Perf(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Snapshot of one histogram, if recorded.
+    pub fn histogram(&self, name: &str, label: &str) -> Option<Histogram> {
+        match self.lookup(name, label) {
+            Some(Metric::Hist(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn lookup(&self, name: &str, label: &str) -> Option<Metric> {
+        let m = self.inner.metrics.lock().unwrap();
+        m.get(&(Name::Owned(name.to_string()), Name::Owned(label.to_string())))
+            .cloned()
+    }
+
+    /// Opens a hierarchical span. The parent is the innermost span this
+    /// thread currently has open *in this registry*. Only call from serial
+    /// pipeline code (determinism rule 2).
+    pub fn span(&self, name: impl Into<Name>) -> Span {
+        let name = name.into();
+        let mut spans = self.inner.spans.lock().unwrap();
+        // Timestamp under the lock so records are start-ordered.
+        let start_us = self.inner.epoch.elapsed().as_micros() as u64;
+        let parent = SPAN_STACK.with(|s| {
+            s.borrow()
+                .last()
+                .and_then(|&(rid, idx)| (rid == self.id()).then_some(idx))
+        });
+        let depth = parent.map(|p| spans[p].depth + 1).unwrap_or(0);
+        let idx = spans.len();
+        spans.push(SpanRecord {
+            name,
+            parent,
+            depth,
+            start_us,
+            dur_us: None,
+        });
+        drop(spans);
+        SPAN_STACK.with(|s| s.borrow_mut().push((self.id(), idx)));
+        Span {
+            reg: Some((self.clone(), idx)),
+        }
+    }
+
+    /// All spans recorded so far, in open order.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.spans.lock().unwrap().clone()
+    }
+
+    /// Asserts the span tree is well-formed: every span closed, opens
+    /// monotone, depths consistent, every child interval contained in its
+    /// parent's. The test harness's structural invariant.
+    pub fn check_span_nesting(&self) -> Result<(), String> {
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            let dur = s
+                .dur_us
+                .ok_or_else(|| format!("span {i} ({}) never closed", s.name))?;
+            if i > 0 && s.start_us < spans[i - 1].start_us {
+                return Err(format!(
+                    "span {i} ({}) opened before span {} ({})",
+                    s.name,
+                    i - 1,
+                    spans[i - 1].name
+                ));
+            }
+            match s.parent {
+                None => {
+                    if s.depth != 0 {
+                        return Err(format!("root span {i} ({}) has depth {}", s.name, s.depth));
+                    }
+                }
+                Some(p) => {
+                    if p >= i {
+                        return Err(format!("span {i} ({}) has forward parent {p}", s.name));
+                    }
+                    let ps = &spans[p];
+                    if s.depth != ps.depth + 1 {
+                        return Err(format!(
+                            "span {i} ({}) depth {} under parent depth {}",
+                            s.name, s.depth, ps.depth
+                        ));
+                    }
+                    let pdur = ps
+                        .dur_us
+                        .ok_or_else(|| format!("parent span {p} ({}) never closed", ps.name))?;
+                    if s.start_us < ps.start_us || s.start_us + dur > ps.start_us + pdur {
+                        return Err(format!(
+                            "span {i} ({}) [{}..{}] escapes parent {} ({}) [{}..{}]",
+                            s.name,
+                            s.start_us,
+                            s.start_us + dur,
+                            p,
+                            ps.name,
+                            ps.start_us,
+                            ps.start_us + pdur
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- Sinks --------------------------------------------------------------
+
+    /// Deterministic counters only, sorted by key, one `name{label} value`
+    /// line each. Byte-identical across worker counts by contract.
+    pub fn counter_snapshot(&self) -> String {
+        let m = self.inner.metrics.lock().unwrap();
+        let mut out = String::new();
+        for ((name, label), v) in m.iter() {
+            if let Metric::Counter(v) = v {
+                if label.is_empty() {
+                    let _ = writeln!(out, "{name} {v}");
+                } else {
+                    let _ = writeln!(out, "{name}{{{label}}} {v}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable rendering: counters, perf counters, histograms, and
+    /// the span tree.
+    pub fn render_table(&self) -> String {
+        let m = self.inner.metrics.lock().unwrap();
+        let key = |name: &Name, label: &Name| {
+            if label.is_empty() {
+                name.to_string()
+            } else {
+                format!("{name}{{{label}}}")
+            }
+        };
+        let mut out = String::new();
+        for (title, want) in [("counters", "counter"), ("perf", "perf")] {
+            let rows: Vec<(String, u64)> = m
+                .iter()
+                .filter_map(|((n, l), v)| match v {
+                    Metric::Counter(v) if want == "counter" => Some((key(n, l), *v)),
+                    Metric::Perf(v) if want == "perf" => Some((key(n, l), *v)),
+                    _ => None,
+                })
+                .collect();
+            if !rows.is_empty() {
+                let _ = writeln!(out, "{title}:");
+                for (k, v) in rows {
+                    let _ = writeln!(out, "  {k:<44} {v:>12}");
+                }
+            }
+        }
+        let hists: Vec<(String, &Histogram)> = m
+            .iter()
+            .filter_map(|((n, l), v)| match v {
+                Metric::Hist(h) => Some((key(n, l), h)),
+                _ => None,
+            })
+            .collect();
+        if !hists.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for (k, h) in hists {
+                let _ = writeln!(
+                    out,
+                    "  {k:<44} count {:>8}  mean {:>10.1}  min {:>8}  max {:>8}",
+                    h.count,
+                    h.mean(),
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                );
+            }
+        }
+        drop(m);
+        let spans = self.spans();
+        if !spans.is_empty() {
+            let _ = writeln!(out, "spans:");
+            for s in &spans {
+                let indent = "  ".repeat(s.depth + 1);
+                match s.dur_us {
+                    Some(d) => {
+                        let _ = writeln!(
+                            out,
+                            "{indent}{:<width$} {:>10.3} ms",
+                            s.name,
+                            d as f64 / 1000.0,
+                            width = 46usize.saturating_sub(indent.len())
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(out, "{indent}{} (open)", s.name);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON-lines sink: one object per line. [`JsonMode::Full`] emits
+    /// everything; [`JsonMode::Deterministic`] emits only the
+    /// worker-count-invariant stream (counters, spans with timing
+    /// redacted) — the golden-test format.
+    pub fn json_lines(&self, mode: JsonMode) -> String {
+        let m = self.inner.metrics.lock().unwrap();
+        let mut out = String::new();
+        for ((name, label), v) in m.iter() {
+            match v {
+                Metric::Counter(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"counter\",\"name\":\"{}\",\"label\":\"{}\",\"value\":{v}}}",
+                        esc(name),
+                        esc(label)
+                    );
+                }
+                Metric::Perf(v) if mode == JsonMode::Full => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"perf\",\"name\":\"{}\",\"label\":\"{}\",\"value\":{v}}}",
+                        esc(name),
+                        esc(label)
+                    );
+                }
+                Metric::Hist(h) if mode == JsonMode::Full => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"hist\",\"name\":\"{}\",\"label\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":\"{}\"}}",
+                        esc(name),
+                        esc(label),
+                        h.count,
+                        h.sum,
+                        if h.count == 0 { 0 } else { h.min },
+                        h.max,
+                        h.buckets_compact()
+                    );
+                }
+                _ => {}
+            }
+        }
+        drop(m);
+        for s in self.spans() {
+            let (start, dur) = match mode {
+                JsonMode::Full => (s.start_us, s.dur_us),
+                JsonMode::Deterministic => (0, Some(0)),
+            };
+            let parent = match s.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            let dur = match dur {
+                Some(d) => d.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"name\":\"{}\",\"parent\":{parent},\"depth\":{},\"start_us\":{start},\"dur_us\":{dur}}}",
+                esc(&s.name),
+                s.depth
+            );
+        }
+        out
+    }
+
+    /// Parses a [`json_lines`](Self::json_lines) document back into a
+    /// registry (for `igdb metrics --in file.jsonl`). Unknown line types
+    /// are an error; blank lines are skipped.
+    pub fn from_json_lines(doc: &str) -> Result<Registry, String> {
+        let reg = Registry::new();
+        {
+            let mut metrics = reg.inner.metrics.lock().unwrap();
+            let mut spans = reg.inner.spans.lock().unwrap();
+            for (lineno, line) in doc.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let ctx = |what: &str| format!("line {}: {what}", lineno + 1);
+                let ty = json_str(line, "type").ok_or_else(|| ctx("missing \"type\""))?;
+                match ty.as_str() {
+                    "counter" | "perf" => {
+                        let name = json_str(line, "name").ok_or_else(|| ctx("missing name"))?;
+                        let label = json_str(line, "label").unwrap_or_default();
+                        let value = json_u64(line, "value").ok_or_else(|| ctx("missing value"))?;
+                        let v = if ty == "counter" {
+                            Metric::Counter(value)
+                        } else {
+                            Metric::Perf(value)
+                        };
+                        metrics.insert((Name::Owned(name), Name::Owned(label)), v);
+                    }
+                    "hist" => {
+                        let name = json_str(line, "name").ok_or_else(|| ctx("missing name"))?;
+                        let label = json_str(line, "label").unwrap_or_default();
+                        let mut h = Histogram::new();
+                        h.count = json_u64(line, "count").ok_or_else(|| ctx("missing count"))?;
+                        h.sum = json_u64(line, "sum").ok_or_else(|| ctx("missing sum"))?;
+                        h.min = json_u64(line, "min").unwrap_or(0);
+                        h.max = json_u64(line, "max").unwrap_or(0);
+                        if h.count == 0 {
+                            h.min = u64::MAX;
+                        }
+                        for pair in json_str(line, "buckets").unwrap_or_default().split_whitespace()
+                        {
+                            let (i, c) = pair
+                                .split_once(':')
+                                .ok_or_else(|| ctx("malformed bucket"))?;
+                            let i: usize =
+                                i.parse().map_err(|_| ctx("malformed bucket index"))?;
+                            let c: u64 =
+                                c.parse().map_err(|_| ctx("malformed bucket count"))?;
+                            if i >= BUCKETS {
+                                return Err(ctx("bucket index out of range"));
+                            }
+                            h.buckets[i] = c;
+                        }
+                        metrics.insert((Name::Owned(name), Name::Owned(label)), Metric::Hist(h));
+                    }
+                    "span" => {
+                        let name = json_str(line, "name").ok_or_else(|| ctx("missing name"))?;
+                        let parent = json_u64(line, "parent").map(|p| p as usize);
+                        let depth =
+                            json_u64(line, "depth").ok_or_else(|| ctx("missing depth"))? as usize;
+                        let start_us =
+                            json_u64(line, "start_us").ok_or_else(|| ctx("missing start_us"))?;
+                        let dur_us = json_u64(line, "dur_us");
+                        spans.push(SpanRecord {
+                            name: Name::Owned(name),
+                            parent,
+                            depth,
+                            start_us,
+                            dur_us,
+                        });
+                    }
+                    other => return Err(ctx(&format!("unknown line type '{other}'"))),
+                }
+            }
+        }
+        Ok(reg)
+    }
+}
+
+/// Which metric classes [`Registry::json_lines`] emits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JsonMode {
+    /// Everything, including perf counters, histograms and real timings.
+    Full,
+    /// Only the worker-count-invariant stream: counters plus the span
+    /// tree with timings redacted to 0. Byte-identical across runs of the
+    /// same input — the golden-test format.
+    Deterministic,
+}
+
+// ---------------------------------------------------------------------------
+// Span guard
+// ---------------------------------------------------------------------------
+
+/// RAII span guard: records the duration and pops the thread-local span
+/// stack on drop. A guard from the free [`span`] function with no current
+/// registry is inert.
+pub struct Span {
+    reg: Option<(Registry, usize)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some((reg, idx)) = self.reg.take() else {
+            return;
+        };
+        let end = reg.inner.epoch.elapsed().as_micros() as u64;
+        let name = {
+            let mut spans = reg.inner.spans.lock().unwrap();
+            let rec = &mut spans[idx];
+            rec.dur_us = Some(end.saturating_sub(rec.start_us));
+            rec.name.clone()
+        };
+        SPAN_STACK.with(|s| {
+            let mut st = s.borrow_mut();
+            if st.last() == Some(&(reg.id(), idx)) {
+                st.pop();
+            } else {
+                // Out-of-order drop (e.g. guards dropped by unwind in
+                // declaration order): remove wherever it sits.
+                st.retain(|&e| e != (reg.id(), idx));
+            }
+        });
+        let dur = end.saturating_sub(reg.inner.spans.lock().unwrap()[idx].start_us);
+        reg.observe("span_us", name, dur);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free functions against the current registry
+// ---------------------------------------------------------------------------
+
+/// Adds to a deterministic counter on the current registry (no-op without
+/// one).
+pub fn counter(name: impl Into<Name>, label: impl Into<Name>, delta: u64) {
+    if let Some(r) = current() {
+        r.counter_add(name, label, delta);
+    }
+}
+
+/// Adds to a perf counter on the current registry (no-op without one).
+pub fn perf(name: impl Into<Name>, label: impl Into<Name>, delta: u64) {
+    if let Some(r) = current() {
+        r.perf_add(name, label, delta);
+    }
+}
+
+/// Records a histogram value on the current registry (no-op without one).
+pub fn observe(name: impl Into<Name>, label: impl Into<Name>, value: u64) {
+    if let Some(r) = current() {
+        r.observe(name, label, value);
+    }
+}
+
+/// Opens a span on the current registry (inert guard without one).
+pub fn span(name: impl Into<Name>) -> Span {
+    match current() {
+        Some(r) => r.span(name),
+        None => Span { reg: None },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON helpers (our own emitted subset only)
+// ---------------------------------------------------------------------------
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Raw value text of `"key":<value>` within one JSON-lines object.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(inner) = rest.strip_prefix('"') {
+        let mut escaped = false;
+        for (i, c) in inner.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Some(&inner[..i]);
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim())
+    }
+}
+
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let raw = json_raw(line, key)?;
+    Some(unescape(raw))
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_and_snapshot_sorts() {
+        let reg = Registry::new();
+        reg.counter_add("z.last", "", 1);
+        reg.counter_add("a.first", "beta", 2);
+        reg.counter_add("a.first", "alpha", 3);
+        reg.counter_add("a.first", "alpha", 4);
+        reg.perf_add("p.tasks", "worker0", 9); // excluded from the snapshot
+        assert_eq!(reg.counter_value("a.first", "alpha"), 7);
+        assert_eq!(
+            reg.counter_snapshot(),
+            "a.first{alpha} 7\na.first{beta} 2\nz.last 1\n"
+        );
+    }
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.counter_add("hits", "", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter_value("hits", ""), 4000);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric registered as counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter_add("x", "", 1);
+        reg.perf_add("x", "", 1);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        assert!(current().is_none());
+        let a = Registry::new();
+        let b = Registry::new();
+        {
+            let _ga = a.install();
+            counter("k", "", 1);
+            {
+                let _gb = b.install();
+                counter("k", "", 10);
+            }
+            counter("k", "", 2);
+        }
+        counter("k", "", 100); // no registry: dropped
+        assert_eq!(a.counter_value("k", ""), 3);
+        assert_eq!(b.counter_value("k", ""), 10);
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_close() {
+        let reg = Registry::new();
+        {
+            let _root = reg.span("root");
+            {
+                let _child = reg.span("child");
+                let _grand = reg.span("grandchild");
+            }
+            let _second = reg.span("second_child");
+        }
+        let spans = reg.spans();
+        let shape: Vec<(&str, Option<usize>, usize)> = spans
+            .iter()
+            .map(|s| (s.name.as_ref(), s.parent, s.depth))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("root", None, 0),
+                ("child", Some(0), 1),
+                ("grandchild", Some(1), 2),
+                ("second_child", Some(0), 1),
+            ]
+        );
+        reg.check_span_nesting().unwrap();
+        // Span durations feed the span_us histogram.
+        assert_eq!(reg.histogram("span_us", "root").unwrap().count, 1);
+    }
+
+    #[test]
+    fn nesting_check_rejects_open_spans() {
+        let reg = Registry::new();
+        let guard = reg.span("never_closed");
+        assert!(reg.check_span_nesting().unwrap_err().contains("never closed"));
+        drop(guard);
+        reg.check_span_nesting().unwrap();
+    }
+
+    #[test]
+    fn free_span_without_registry_is_inert() {
+        let g = span("nothing");
+        drop(g);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        let reg = Registry::new();
+        for v in [0, 1, 3, 3, 900] {
+            reg.observe("h", "", v);
+        }
+        let h = reg.histogram("h", "").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (5, 907, 0, 900));
+        assert_eq!(h.buckets()[2], 2);
+        assert_eq!(h.buckets_compact(), "0:1 1:1 2:2 10:1");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let reg = Registry::new();
+        reg.counter_add("ingest.rows_in", "atlas_nodes", 400);
+        reg.counter_add("weird \"name\"", "with\\slash", 1);
+        reg.perf_add("par.tasks", "worker1", 37);
+        reg.observe("span_us", "build", 1500);
+        {
+            let _root = reg.span("pipeline");
+            let _child = reg.span("validate");
+        }
+        let doc = reg.json_lines(JsonMode::Full);
+        let back = Registry::from_json_lines(&doc).unwrap();
+        assert_eq!(back.counter_value("ingest.rows_in", "atlas_nodes"), 400);
+        assert_eq!(back.counter_value("weird \"name\"", "with\\slash"), 1);
+        assert_eq!(back.perf_value("par.tasks", "worker1"), 37);
+        assert_eq!(
+            back.histogram("span_us", "build").unwrap(),
+            reg.histogram("span_us", "build").unwrap()
+        );
+        assert_eq!(back.spans().len(), 2);
+        assert_eq!(back.spans()[1].parent, Some(0));
+        // Re-emitting parses to the same table rendering.
+        assert_eq!(back.json_lines(JsonMode::Full), doc);
+    }
+
+    #[test]
+    fn deterministic_mode_redacts_and_filters() {
+        let reg = Registry::new();
+        reg.counter_add("c", "", 5);
+        reg.perf_add("p", "", 9);
+        reg.observe("h", "", 3);
+        {
+            let _s = reg.span("stage");
+        }
+        let doc = reg.json_lines(JsonMode::Deterministic);
+        assert!(doc.contains("\"type\":\"counter\""));
+        assert!(!doc.contains("\"type\":\"perf\""));
+        assert!(!doc.contains("\"type\":\"hist\""));
+        assert!(doc.contains("\"start_us\":0"));
+        assert!(doc.contains("\"dur_us\":0"));
+    }
+
+    #[test]
+    fn malformed_json_lines_are_typed_errors() {
+        assert!(Registry::from_json_lines("{\"no\":\"type\"}")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(Registry::from_json_lines("{\"type\":\"martian\"}")
+            .unwrap_err()
+            .contains("martian"));
+    }
+
+    #[test]
+    fn render_table_sections() {
+        let reg = Registry::new();
+        reg.counter_add("ingest.rows_in", "roads", 12);
+        reg.perf_add("par.steals", "", 3);
+        reg.observe("lat", "", 7);
+        {
+            let _s = reg.span("pipeline");
+        }
+        let t = reg.render_table();
+        for needle in ["counters:", "perf:", "histograms:", "spans:", "ingest.rows_in{roads}"] {
+            assert!(t.contains(needle), "missing {needle} in:\n{t}");
+        }
+    }
+}

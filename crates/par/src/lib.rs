@@ -28,6 +28,18 @@
 //! variable, overridable again per-scope with [`with_threads`] (which is
 //! thread-local and therefore race-free under `cargo test`'s parallel test
 //! runner).
+//!
+//! # Observability
+//!
+//! When an `igdb-obs` registry is current on the calling thread, the pool
+//! re-installs it inside every worker, so instrumentation in the mapped
+//! closure lands in the caller's registry. The pool itself records:
+//!
+//! * counters (worker-count invariant): `par.invocations{map|chunks}`,
+//!   `par.items{map|chunks}` — items submitted per entry point;
+//! * perf counters (scheduling-dependent): `par.tasks{workerN}` — work
+//!   units executed by each worker, `par.steals` — work units executed by
+//!   spawned workers rather than the calling thread.
 
 use std::cell::Cell;
 use std::mem::MaybeUninit;
@@ -99,8 +111,22 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    igdb_obs::counter("par.invocations", "map", 1);
+    igdb_obs::counter("par.items", "map", items.len() as u64);
+    par_map_inner(items, f)
+}
+
+/// [`par_map`] minus the item accounting: `par_chunks` funnels through this
+/// so its chunk descriptors are not double-counted as submitted items.
+fn par_map_inner<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = num_threads().min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
+        igdb_obs::perf("par.tasks", "worker0", items.len() as u64);
         return items.iter().map(f).collect();
     }
 
@@ -111,19 +137,35 @@ where
     let slots = Slots(out.as_mut_ptr());
     let next = AtomicUsize::new(0);
 
+    // Spawned threads do not inherit thread-locals: capture the caller's
+    // current registry and re-install it inside each worker so closure
+    // instrumentation aggregates into the right place.
+    let reg = igdb_obs::current();
     std::thread::scope(|scope| {
-        let run = |_worker: usize| {
+        let run = |worker: usize| {
             let slots = &slots;
             let next = &next;
             let f = &f;
-            move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            let reg = reg.clone();
+            move || {
+                let _installed = reg.as_ref().map(|r| r.install());
+                let mut tasks = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(&items[i]);
+                    // SAFETY: fetch_add hands out each i exactly once.
+                    unsafe { slots.write(i, r) };
+                    tasks += 1;
                 }
-                let r = f(&items[i]);
-                // SAFETY: fetch_add hands out each i exactly once.
-                unsafe { slots.write(i, r) };
+                if let Some(reg) = &reg {
+                    reg.perf_add("par.tasks", format!("worker{worker}"), tasks);
+                    if worker > 0 {
+                        reg.perf_add("par.steals", "", tasks);
+                    }
+                }
             }
         };
         let handles: Vec<_> = (1..workers).map(|w| scope.spawn(run(w))).collect();
@@ -158,17 +200,20 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    igdb_obs::counter("par.invocations", "chunks", 1);
+    igdb_obs::counter("par.items", "chunks", items.len() as u64);
     let workers = num_threads().min(items.len().max(1));
     if workers <= 1 {
         return if items.is_empty() {
             Vec::new()
         } else {
+            igdb_obs::perf("par.tasks", "worker0", 1);
             vec![f(0, items)]
         };
     }
     let chunk = items.len().div_ceil(workers);
     let chunks: Vec<(usize, &[T])> = items.chunks(chunk).enumerate().collect();
-    par_map(&chunks, |(i, c)| f(*i, c))
+    par_map_inner(&chunks, |(i, c)| f(*i, c))
 }
 
 #[cfg(test)]
@@ -278,6 +323,109 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn with_threads_zero_clamps_to_one() {
+        with_threads(0, || {
+            assert_eq!(num_threads(), 1);
+            // Serial fallback still computes everything in order.
+            let items: Vec<u32> = (0..17).collect();
+            assert_eq!(
+                par_map(&items, |x| x + 1),
+                items.iter().map(|x| x + 1).collect::<Vec<_>>()
+            );
+        });
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items: Vec<u32> = (0..3).collect();
+        let out = with_threads(64, || par_map(&items, |x| x * 10));
+        assert_eq!(out, vec![0, 10, 20]);
+        let chunks = with_threads(64, || par_chunks(&items, |_i, c| c.to_vec()));
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn par_map_nests_inside_par_map() {
+        // Inner loops run serially (workers have no thread-local override),
+        // but the values must still be correct.
+        let items: Vec<u32> = (0..16).collect();
+        let out = with_threads(4, || {
+            par_map(&items, |&x| {
+                let inner: Vec<u32> = (0..4).collect();
+                par_map(&inner, |&y| x * 10 + y).iter().sum::<u32>()
+            })
+        });
+        let expect: Vec<u32> = items.iter().map(|x| x * 40 + 6).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_chunks_propagates_worker_panic() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_chunks(&items, |idx, _c| {
+                    if idx == 2 {
+                        panic!("chunk panic");
+                    }
+                    idx
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn obs_registry_propagates_into_workers() {
+        let reg = igdb_obs::Registry::new();
+        let items: Vec<u64> = (0..500).collect();
+        let _g = reg.install();
+        let out = with_threads(4, || par_map(&items, |&x| {
+            igdb_obs::counter("work.seen", "", 1);
+            x
+        }));
+        assert_eq!(out.len(), 500);
+        // Closure counters land in the caller's registry even from spawned
+        // workers, and data-derived counts are worker-count invariant.
+        assert_eq!(reg.counter_value("work.seen", ""), 500);
+        assert_eq!(reg.counter_value("par.items", "map"), 500);
+        assert_eq!(reg.counter_value("par.invocations", "map"), 1);
+    }
+
+    #[test]
+    fn obs_tasks_sum_to_items_and_counters_are_thread_invariant() {
+        let items: Vec<u64> = (0..300).collect();
+        let mut snapshots = Vec::new();
+        for threads in [1, 2, 4] {
+            let reg = igdb_obs::Registry::new();
+            {
+                let _g = reg.install();
+                with_threads(threads, || {
+                    par_map(&items, |&x| x + 1);
+                    par_chunks(&items, |_i, c| c.len());
+                });
+            }
+            // Perf: every par_map item is executed by exactly one worker.
+            let total_tasks: u64 = (0..64)
+                .map(|w| reg.perf_value("par.tasks", &format!("worker{w}")))
+                .sum();
+            // par_map executes 300 item tasks; par_chunks executes one task
+            // per chunk (<= threads of them).
+            assert!(total_tasks >= 300 + 1, "threads={threads}: {total_tasks}");
+            assert!(
+                total_tasks <= 300 + threads as u64,
+                "threads={threads}: {total_tasks}"
+            );
+            snapshots.push(reg.counter_snapshot());
+        }
+        // Counter contract: the deterministic snapshot is byte-identical
+        // across worker counts.
+        assert_eq!(snapshots[0], snapshots[1]);
+        assert_eq!(snapshots[1], snapshots[2]);
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! The observability contract: deterministic counters, monotone span
+//! trees, and the cross-check between the metrics stream and the
+//! `BuildReport` the pipeline prints.
+//!
+//! Invariants under test:
+//!
+//! * **Conservation.** For every source, `ingest.rows_in` equals
+//!   `ingest.rows_accepted + ingest.rows_quarantined` (unless the source
+//!   was dropped), and each counter equals the corresponding
+//!   `SourceHealth` field — the numbers in `--metrics` are the numbers in
+//!   `--report`, by construction and by test.
+//! * **Monotone nesting.** Spans close in LIFO order, children start no
+//!   earlier than their parents, and sibling spans don't overlap.
+//! * **Worker-count invariance.** The counter snapshot is byte-identical
+//!   at 1 and 4 workers; only `perf` metrics may differ.
+//! * **Golden stream.** `JsonMode::Deterministic` over the synthetic tiny
+//!   world matches a checked-in golden file (bless with `IGDB_BLESS=1`).
+//! * **CLI parity.** `igdb build --report F --metrics G` writes two views
+//!   of the same accounting; unwritable paths fail fast and non-zero.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use igdb_core::igdb_obs::{JsonMode, Registry};
+use igdb_core::{BuildPolicy, Igdb, SourceId};
+use igdb_synth::faults::FaultClass;
+use igdb_synth::sources::SnapshotSet;
+use igdb_synth::{emit_snapshots, inject_faults, World, WorldConfig};
+
+fn snaps() -> SnapshotSet {
+    let world = World::generate(WorldConfig::tiny());
+    emit_snapshots(&world, "2022-05-03", 100)
+}
+
+fn faulty_snaps(seed: u64) -> SnapshotSet {
+    let mut s = snaps();
+    inject_faults(&mut s, seed, &FaultClass::ALL_RECORD_CLASSES);
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Conservation: counters ↔ report
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ingestion_counters_conserve_rows_per_source() {
+    let s = faulty_snaps(7);
+    let reg = Registry::new();
+    let report = {
+        let _g = reg.install();
+        let (_igdb, report) =
+            Igdb::try_build(&s, &BuildPolicy::lenient()).expect("lenient build succeeds");
+        report
+    };
+    for src in SourceId::ALL {
+        let name = src.name();
+        let rows_in = reg.counter_value("ingest.rows_in", name);
+        let accepted = reg.counter_value("ingest.rows_accepted", name);
+        let quarantined = reg.counter_value("ingest.rows_quarantined", name);
+        let h = report.health(src);
+        assert_eq!(rows_in, h.rows_in as u64, "{name}: rows_in");
+        assert_eq!(accepted, h.rows_accepted as u64, "{name}: rows_accepted");
+        assert_eq!(
+            quarantined, h.rows_quarantined as u64,
+            "{name}: rows_quarantined"
+        );
+        if h.dropped {
+            assert_eq!(accepted, 0, "{name}: dropped source accepted rows");
+        } else {
+            assert_eq!(
+                rows_in,
+                accepted + quarantined,
+                "{name}: conservation violated"
+            );
+        }
+    }
+    // The report agrees with itself, too (satellite: crosscheck is wired).
+    report.crosscheck().expect("report internally consistent");
+}
+
+#[test]
+fn clean_build_quarantines_nothing() {
+    let s = snaps();
+    let reg = Registry::new();
+    {
+        let _g = reg.install();
+        Igdb::try_build(&s, &BuildPolicy::strict()).expect("clean strict build");
+    }
+    for src in SourceId::ALL {
+        assert_eq!(reg.counter_value("ingest.rows_quarantined", src.name()), 0);
+    }
+    assert_eq!(reg.counter_value("ingest.sources_dropped", ""), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+#[test]
+fn span_tree_is_monotone_and_covers_the_pipeline() {
+    let s = snaps();
+    let reg = Registry::new();
+    {
+        let _g = reg.install();
+        Igdb::try_build(&s, &BuildPolicy::lenient()).unwrap();
+    }
+    reg.check_span_nesting().expect("span nesting invariants");
+
+    let spans = reg.spans();
+    let names: Vec<&str> = spans.iter().map(|s| s.name.as_ref()).collect();
+    for expected in [
+        "pipeline",
+        "validate",
+        "build",
+        "build.physical",
+        "physical.spatial_join",
+        "physical.routing",
+        "build.metros",
+        "build.ip_resolution",
+        "build.index",
+    ] {
+        assert!(names.contains(&expected), "missing span '{expected}' in {names:?}");
+    }
+    // Every span closed, and durations are consistent with the hierarchy:
+    // a child's duration never exceeds its parent's.
+    for (i, s) in spans.iter().enumerate() {
+        let dur = s.dur_us.unwrap_or_else(|| panic!("span '{}' never closed", s.name));
+        if let Some(p) = s.parent {
+            let parent = &spans[p];
+            assert!(parent.depth + 1 == s.depth, "span {i} depth");
+            assert!(
+                parent.start_us <= s.start_us,
+                "child '{}' started before parent '{}'",
+                s.name,
+                parent.name
+            );
+            let pdur = parent.dur_us.unwrap();
+            assert!(
+                s.start_us + dur <= parent.start_us + pdur,
+                "child '{}' outlived parent '{}'",
+                s.name,
+                parent.name
+            );
+        }
+    }
+    // "validate" and "build" are both children of "pipeline".
+    let pipeline_idx = spans.iter().position(|s| s.name == "pipeline").unwrap();
+    for child in ["validate", "build"] {
+        let c = spans.iter().find(|s| s.name == child).unwrap();
+        assert_eq!(c.parent, Some(pipeline_idx), "'{child}' parent");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-count invariance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn counter_snapshot_is_identical_at_1_and_4_workers() {
+    let s = faulty_snaps(11);
+    let snapshot_at = |threads: usize| {
+        let reg = Registry::new();
+        igdb_par::with_threads(threads, || {
+            let _g = reg.install();
+            Igdb::try_build(&s, &BuildPolicy::lenient()).unwrap();
+        });
+        reg.counter_snapshot()
+    };
+    let one = snapshot_at(1);
+    let four = snapshot_at(4);
+    assert!(!one.is_empty());
+    assert_eq!(one, four, "counters must be worker-count-invariant");
+}
+
+// ---------------------------------------------------------------------------
+// Golden JSON-lines stream
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deterministic_json_lines_match_golden() {
+    let golden_path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/observability.jsonl"
+    ));
+    let s = snaps();
+    let reg = Registry::new();
+    igdb_par::with_threads(2, || {
+        let _g = reg.install();
+        Igdb::try_build(&s, &BuildPolicy::lenient()).unwrap();
+    });
+    let got = reg.json_lines(JsonMode::Deterministic);
+    if std::env::var_os("IGDB_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &got).unwrap();
+        eprintln!("blessed {}", golden_path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run with IGDB_BLESS=1 to create)", golden_path.display()));
+    assert_eq!(
+        got, want,
+        "deterministic metrics stream drifted from tests/golden/observability.jsonl \
+         (if intentional, re-bless with IGDB_BLESS=1)"
+    );
+    // Round-trips through the parser.
+    let back = Registry::from_json_lines(&got).unwrap();
+    assert_eq!(back.counter_snapshot(), reg.counter_snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// CLI parity and fail-fast IO
+// ---------------------------------------------------------------------------
+
+fn igdb_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_igdb"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("igdb_obs_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn cli_metrics_and_report_tell_the_same_story() {
+    let dir = tempdir("parity");
+    let rpt = dir.join("report.txt");
+    let jsonl = dir.join("metrics.jsonl");
+    let out = igdb_bin()
+        .args(["build", "--out"])
+        .arg(dir.join("db"))
+        .args(["--scale", "tiny", "--mesh", "100", "--corrupt", "7", "--report"])
+        .arg(&rpt)
+        .arg("--metrics")
+        .arg(&jsonl)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Parse the per-source table out of the report file.
+    let report = std::fs::read_to_string(&rpt).unwrap();
+    let reg = Registry::from_json_lines(&std::fs::read_to_string(&jsonl).unwrap()).unwrap();
+    let mut sources_seen = 0;
+    for line in report.lines().skip(1) {
+        if line.starts_with("quarantined records:") {
+            break;
+        }
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        let [name, rows_in, accepted, quarantined, _status] = cols[..] else {
+            panic!("unparseable report line: {line}");
+        };
+        assert_eq!(
+            reg.counter_value("ingest.rows_in", name),
+            rows_in.parse::<u64>().unwrap(),
+            "{name}: rows_in mismatch between --report and --metrics"
+        );
+        assert_eq!(
+            reg.counter_value("ingest.rows_accepted", name),
+            accepted.parse::<u64>().unwrap(),
+            "{name}: accepted mismatch"
+        );
+        assert_eq!(
+            reg.counter_value("ingest.rows_quarantined", name),
+            quarantined.parse::<u64>().unwrap(),
+            "{name}: quarantined mismatch"
+        );
+        sources_seen += 1;
+    }
+    assert_eq!(sources_seen, SourceId::ALL.len(), "report lists every source");
+
+    // `igdb metrics --in` renders the stream back as the same table the
+    // registry renders.
+    let out = igdb_bin().args(["metrics", "--in"]).arg(&jsonl).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(table, reg.render_table());
+    assert!(table.contains("ingest.rows_in"), "{table}");
+}
+
+#[test]
+fn unwritable_metrics_path_fails_fast_and_nonzero() {
+    let dir = tempdir("badmetrics");
+    let bad = dir.join("no_such_subdir").join("metrics.jsonl");
+    let out = igdb_bin()
+        .args(["build", "--out"])
+        .arg(dir.join("db"))
+        .args(["--scale", "tiny", "--mesh", "10", "--metrics"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create metrics file") && stderr.contains("no_such_subdir"),
+        "stderr should carry the typed IO error with the path:\n{stderr}"
+    );
+    // Fail-fast: the build never started, so no world generation banner.
+    assert!(!stderr.contains("generating world"), "{stderr}");
+}
+
+#[test]
+fn unwritable_report_path_fails_fast_and_nonzero() {
+    let dir = tempdir("badreport");
+    let bad = dir.join("no_such_subdir").join("report.txt");
+    let out = igdb_bin()
+        .args(["build", "--out"])
+        .arg(dir.join("db"))
+        .args(["--scale", "tiny", "--mesh", "10", "--report"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot create report file") && stderr.contains("no_such_subdir"),
+        "stderr should carry the typed IO error with the path:\n{stderr}"
+    );
+    assert!(!stderr.contains("generating world"), "{stderr}");
+}

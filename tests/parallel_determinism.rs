@@ -155,6 +155,38 @@ proptest! {
             engine.shortest_path_with(&mut fresh, from, to)
         );
     }
+
+    #[test]
+    fn engine_resume_survives_interleaved_sources(
+        n in 2usize..24,
+        parents in proptest::collection::vec((any::<u64>(), 1u32..=16), 23),
+        extras in proptest::collection::vec((any::<u32>(), any::<u32>(), 1u32..=16), 0..24),
+        queries in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..40),
+    ) {
+        let parents = &parents[..n - 1];
+        let arcs = build_arcs(n, parents, &extras);
+        let engine = ShortestPathEngine::from_undirected(n, arcs.iter().copied());
+        // One long-lived workspace fields queries whose sources alternate
+        // arbitrarily — the worst case for the resumable search, which
+        // must reset exactly when the source changes and resume (never
+        // recompute wrongly) when it doesn't. Every answer must match a
+        // fresh workspace, and asking again must be stable.
+        let mut shared = SpWorkspace::new();
+        for &(from, to) in &queries {
+            let (from, to) = ((from as usize) % n, (to as usize) % n);
+            let got = engine.shortest_path_with(&mut shared, from, to);
+            let mut fresh = SpWorkspace::new();
+            let want = engine.shortest_path_with(&mut fresh, from, to);
+            prop_assert_eq!(&got, &want, "interleaved {} -> {}", from, to);
+            let again = engine.shortest_path_with(&mut shared, from, to);
+            prop_assert_eq!(&again, &want, "repeat {} -> {}", from, to);
+            prop_assert_eq!(
+                engine.distance_with(&mut shared, from, to),
+                want.as_ref().map(|(_, km)| *km),
+                "distance {} -> {}", from, to
+            );
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
