@@ -12,7 +12,7 @@
 //! (covered / missed), and the number of iGDB corridors with no nearby
 //! long-haul link (alternates).
 
-use igdb_geo::{parse_wkt, point_polyline_distance_km, GeoPoint, Geometry, KM_PER_MILE};
+use igdb_geo::{point_polyline_distance_km, GeoPoint, KM_PER_MILE};
 use igdb_synth::intertubes::LongHaulLink;
 
 use crate::build::Igdb;
@@ -63,19 +63,9 @@ pub fn compare_with_width(
     corridor_km: f64,
 ) -> IntertubesReport {
     let _span = igdb_obs::span("analysis.intertubes");
-    // Collect iGDB inferred path geometries.
-    let igdb_paths: Vec<Vec<GeoPoint>> = igdb
-        .db
-        .with_table("phys_conn", |t| {
-            t.rows()
-                .iter()
-                .filter_map(|r| match parse_wkt(r[7].as_text()?) {
-                    Ok(Geometry::LineString(ls)) => Some(ls.0),
-                    _ => None,
-                })
-                .collect()
-        })
-        .expect("phys_conn exists");
+    // iGDB inferred path geometries, parsed once per database and shared
+    // across repeated comparisons (e.g. corridor-width ablations).
+    let igdb_paths = igdb.phys_path_geometries();
 
     // Restrict to the long-haul map's region (inflated bounding box).
     let mut bbox = igdb_geo::BoundingBox::empty();

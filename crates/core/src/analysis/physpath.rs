@@ -15,6 +15,7 @@ use igdb_geo::GeoPoint;
 use igdb_net::{Asn, Ip4};
 
 use crate::build::Igdb;
+use crate::corridor::CorridorCache;
 use crate::spath::{ShortestPathEngine, SpWorkspace};
 
 /// The metro-level graph of inferred physical paths (`phys_conn`),
@@ -25,6 +26,10 @@ pub struct PhysGraph {
     /// convenience API; batch callers bring their own via
     /// [`shortest_path_with`](Self::shortest_path_with).
     workspace: Mutex<SpWorkspace>,
+    /// Memoized corridors by normalized metro pair: traceroute legs repeat
+    /// across a mesh and Rocketfuel logical edges share corridors, so the
+    /// same pair is asked for over and over.
+    corridors: CorridorCache,
 }
 
 impl PhysGraph {
@@ -39,6 +44,7 @@ impl PhysGraph {
         Self {
             engine: ShortestPathEngine::from_undirected(n_metros, pairs.iter().copied()),
             workspace: Mutex::new(SpWorkspace::new()),
+            corridors: CorridorCache::new("phys"),
         }
     }
 
@@ -74,6 +80,19 @@ impl PhysGraph {
         to: usize,
     ) -> Option<(Vec<usize>, f64)> {
         self.engine.shortest_path_with(ws, from, to)
+    }
+
+    /// [`shortest_path_with`](Self::shortest_path_with), memoized by
+    /// normalized metro pair: each unordered pair is routed at most once
+    /// per graph across all callers and workers.
+    pub fn shortest_path_cached(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        self.corridors
+            .shortest_path(from, to, |lo, hi| self.engine.shortest_path_with(ws, lo, hi))
     }
 }
 
@@ -114,8 +133,7 @@ pub const HIDDEN_NODE_BUFFER_KM: f64 = 60.0;
 /// Returns `None` when fewer than two hops geolocate or the endpoints are
 /// not connected by inferred physical paths.
 pub fn physical_path_report(igdb: &Igdb, hop_ips: &[Ip4]) -> Option<PhysicalPathReport> {
-    let graph = PhysGraph::from_igdb(igdb);
-    physical_path_report_with(igdb, &graph, hop_ips)
+    physical_path_report_with(igdb, igdb.phys_graph(), hop_ips)
 }
 
 /// Same as [`physical_path_report`] but reusing a prebuilt [`PhysGraph`]
@@ -180,7 +198,7 @@ pub fn physical_path_report_with(
     let mut inferred_km = 0.0;
     for (w, asns) in observed.windows(2).zip(&leg_asns) {
         let (a, b) = (w[0], w[1]);
-        let (via, km) = graph.shortest_path_with(&mut ws, a, b)?;
+        let (via, km) = graph.shortest_path_cached(&mut ws, a, b)?;
         // 3. Hidden-node inference: corridor buffer + spatial join against
         //    the leg ASes' peering locations, restricted to metros with
         //    physical links (paper: "a physical peering location inside
@@ -227,7 +245,7 @@ pub fn physical_path_report_with(
     }
 
     // 4. Shortest practical physical path between endpoints.
-    let (practical_path, practical_km) = graph.shortest_path_with(
+    let (practical_path, practical_km) = graph.shortest_path_cached(
         &mut ws,
         *observed.first().unwrap(),
         *observed.last().unwrap(),

@@ -104,8 +104,11 @@ pub fn reroute(igdb: &Igdb, region: &Polygon, from: usize, to: usize) -> Option<
         .iter()
         .map(|&(a, b)| (a.min(b), a.max(b)))
         .collect();
-    let full = PhysGraph::from_igdb(igdb);
-    let (before_path, before_km) = full.shortest_path(from, to)?;
+    // The intact-graph route comes from the shared graph (and its
+    // corridor cache); only the degraded graph is built per call.
+    let full = igdb.phys_graph();
+    let mut ws = crate::spath::SpWorkspace::for_engine(full.engine());
+    let (before_path, before_km) = full.shortest_path_cached(&mut ws, from, to)?;
     let used_failed = before_path
         .windows(2)
         .any(|w| failed.contains(&(w[0].min(w[1]), w[0].max(w[1]))));

@@ -12,7 +12,6 @@ use std::collections::BTreeSet;
 
 use igdb_synth::intertubes::RocketfuelMap;
 
-use crate::analysis::physpath::PhysGraph;
 use crate::build::Igdb;
 
 /// One logical edge mapped onto physical infrastructure.
@@ -46,12 +45,15 @@ pub struct RocketfuelReport {
 /// Maps a Rocketfuel-style logical map onto iGDB physical corridors.
 pub fn remap(igdb: &Igdb, map: &RocketfuelMap) -> RocketfuelReport {
     let _span = igdb_obs::span("analysis.rocketfuel");
-    let graph = PhysGraph::from_igdb(igdb);
+    // Shared graph + corridor cache: logical edges repeat metro pairs, and
+    // other analyses (physpath, risk) route over the same corridors.
+    let graph = igdb.phys_graph();
+    let mut ws = crate::spath::SpWorkspace::for_engine(graph.engine());
     let mut edges = Vec::with_capacity(map.edges.len());
     let mut segments: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut mapped = 0usize;
     for e in &map.edges {
-        let corridor = graph.shortest_path(e.from_city, e.to_city);
+        let corridor = graph.shortest_path_cached(&mut ws, e.from_city, e.to_city);
         let mapped_edge = match corridor {
             Some((path, km)) => {
                 mapped += 1;

@@ -9,10 +9,11 @@
 //! prefixes), filling `ip_asn_dns`.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::OnceLock;
 
 use igdb_db::{Database, Value};
 use igdb_fault::{BuildError, BuildPolicy, BuildReport, SourceId};
-use igdb_geo::{to_wkt, Geometry, LineString, MultiLineString};
+use igdb_geo::{parse_wkt, to_wkt, GeoPoint, Geometry, LineString, MultiLineString};
 use igdb_net::{Asn, Ip4, Prefix};
 use igdb_synth::sources::{AtlasLink, AtlasNode, PdbFacility, RipeTraceroute, SnapshotSet};
 
@@ -171,8 +172,10 @@ fn load_physical(
             .iter()
             .map(|&i| {
                 let (a, b, _) = link_work[i];
+                // Memoized per unordered pair: snapshot appends and
+                // overlapping atlas links reuse earlier routes.
                 let route = roads
-                    .route_with_geometry_with(&mut ws, a, b)
+                    .route_cached(&mut ws, a, b)
                     .map(|(_, km, geom)| (km, geom));
                 (i, route)
             })
@@ -268,6 +271,12 @@ pub struct Igdb {
     pub traces: Vec<RipeTraceroute>,
     /// Probe registry.
     pub probes: HashMap<u32, ProbeInfo>,
+    /// Lazily-built shared physical-path graph over [`Self::phys_pairs`];
+    /// analyses that used to each build their own copy (physpath, risk,
+    /// rocketfuel) share this one, and with it one corridor cache.
+    phys_graph: OnceLock<crate::analysis::physpath::PhysGraph>,
+    /// Lazily-parsed `phys_conn` WKT geometries (all dates, row order).
+    phys_geoms: OnceLock<Vec<Vec<GeoPoint>>>,
 }
 
 impl Igdb {
@@ -880,7 +889,35 @@ impl Igdb {
             phys_pairs,
             traces: snaps.ripe_traceroutes.to_vec(),
             probes,
+            phys_graph: OnceLock::new(),
+            phys_geoms: OnceLock::new(),
         }
+    }
+
+    /// The shared physical-path graph over the current snapshot's
+    /// inferred corridors, built once on first use. Analyses route over
+    /// this instance so its memoized corridors are shared too.
+    pub fn phys_graph(&self) -> &crate::analysis::physpath::PhysGraph {
+        self.phys_graph
+            .get_or_init(|| crate::analysis::physpath::PhysGraph::from_igdb(self))
+    }
+
+    /// Every inferred physical-path geometry (`phys_conn` WKT linestring
+    /// rows across all loaded dates, in row order), parsed once.
+    pub fn phys_path_geometries(&self) -> &[Vec<GeoPoint>] {
+        self.phys_geoms.get_or_init(|| {
+            self.db
+                .with_table("phys_conn", |t| {
+                    t.rows()
+                        .iter()
+                        .filter_map(|r| match parse_wkt(r[7].as_text()?) {
+                            Ok(Geometry::LineString(ls)) => Some(ls.0),
+                            _ => None,
+                        })
+                        .collect()
+                })
+                .expect("phys_conn exists")
+        })
     }
 
     /// Declared metros of an ASN (from `asn_loc`, non-inferred).
@@ -964,6 +1001,9 @@ impl Igdb {
                 .expect("asn_conn row");
         }
         self.phys_pairs = phys_pairs_for(&self.db, &date);
+        // The snapshot changed what the lazy caches were built from.
+        self.phys_graph = OnceLock::new();
+        self.phys_geoms = OnceLock::new();
         self.as_of_date = date;
     }
 

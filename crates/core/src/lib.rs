@@ -32,6 +32,7 @@
 pub mod analysis;
 pub mod bdrmap;
 pub mod build;
+pub mod corridor;
 pub mod hoiho;
 pub mod metros;
 pub mod roads;
@@ -52,5 +53,6 @@ pub use validate::CleanSnapshots;
 pub use igdb_obs;
 pub use hoiho::HoihoEngine;
 pub use metros::{Metro, MetroRegistry};
+pub use corridor::CorridorCache;
 pub use roads::RoadGraph;
-pub use spath::{ShortestPathEngine, SpWorkspace};
+pub use spath::{with_mode, ShortestPathEngine, SpMode, SpWorkspace, CH_AUTO_THRESHOLD};

@@ -18,7 +18,17 @@ use std::sync::Mutex;
 use igdb_geo::GeoPoint;
 use igdb_synth::sources::RoadSegment;
 
+use crate::corridor::PairCache;
 use crate::spath::{ShortestPathEngine, SpWorkspace};
+
+/// One memoized road corridor, oriented from the smaller metro id.
+/// Geometry sits behind an `Arc` so cache hits never copy the polyline.
+#[derive(Clone, Debug)]
+struct RoadRoute {
+    path: Vec<usize>,
+    km: f64,
+    geometry: Arc<[GeoPoint]>,
+}
 
 /// One loaded road edge.
 #[derive(Clone, Debug)]
@@ -40,6 +50,10 @@ pub struct RoadGraph {
     /// convenience API; parallel callers bring their own workspace via the
     /// `_with` variants.
     workspace: Mutex<SpWorkspace>,
+    /// Memoized corridors by normalized metro pair: snapshot refreshes and
+    /// repeated atlas links re-route the same pairs, and the geometry
+    /// concatenation is not free either.
+    corridors: PairCache<Option<RoadRoute>>,
 }
 
 impl RoadGraph {
@@ -74,6 +88,7 @@ impl RoadGraph {
             engine,
             edge_of,
             workspace: Mutex::new(SpWorkspace::new()),
+            corridors: PairCache::new("roads"),
         }
     }
 
@@ -155,6 +170,30 @@ impl RoadGraph {
         let (path, km) = self.engine.shortest_path_with(ws, from, to)?;
         let geom = self.path_geometry(&path)?;
         Some((path, km, geom))
+    }
+
+    /// [`route_with_geometry_with`](Self::route_with_geometry_with), memoized
+    /// by normalized metro pair: each unordered pair is routed at most once
+    /// per graph, no matter how many callers (or parallel workers) ask.
+    pub fn route_cached(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64, Vec<GeoPoint>)> {
+        let key = (from.min(to), from.max(to));
+        let cached = self.corridors.get_or_compute(key, || {
+            let (path, km) = self.engine.shortest_path_with(ws, key.0, key.1)?;
+            let geometry: Arc<[GeoPoint]> = self.path_geometry(&path)?.into();
+            Some(RoadRoute { path, km, geometry })
+        })?;
+        let mut path = cached.path;
+        let mut geometry: Vec<GeoPoint> = cached.geometry.to_vec();
+        if from > to {
+            path.reverse();
+            geometry.reverse();
+        }
+        Some((path, cached.km, geometry))
     }
 }
 
@@ -239,6 +278,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cached_routes_match_uncached_in_both_directions() {
+        let g = graph();
+        let mut ws = SpWorkspace::new();
+        let direct = g.route_with_geometry(0, 2).unwrap();
+        assert_eq!(g.route_cached(&mut ws, 0, 2).unwrap(), direct);
+        // Reverse orientation comes from the same cache entry, reversed.
+        let (p, km, geom) = g.route_cached(&mut ws, 2, 0).unwrap();
+        assert_eq!(p, vec![2, 1, 0]);
+        assert_eq!(km, direct.1);
+        assert_eq!(geom.first(), direct.2.last());
+        assert_eq!(geom.last(), direct.2.first());
+        // Unreachable pairs cache as misses too.
+        assert!(g.route_cached(&mut ws, 0, 4).is_none());
+        assert!(g.route_cached(&mut ws, 4, 0).is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! every query. Both hot paths issue *many* queries against an immutable
 //! graph — atlas-link routing asks for every deduped metro pair, the bench
 //! traceroute mesh asks for thousands of leg pairs — so this module
-//! centralizes the algorithm with two structural optimizations:
+//! centralizes the algorithm with three structural optimizations:
 //!
 //! * **CSR adjacency** (`offsets`/`targets`/`weights` flat arrays) instead
 //!   of `Vec<Vec<…>>`, for locality and zero per-node allocation.
@@ -18,46 +18,187 @@
 //!   between queries. Asking for a second target from the *same* source
 //!   continues the partially-run Dijkstra instead of restarting it, so a
 //!   loop over targets grouped by source amortizes to a single full SSSP
-//!   per source. Dijkstra settles nodes in deterministic order, so results
-//!   are identical whether a query ran fresh or resumed.
+//!   per source.
+//! * **Contraction hierarchies** ([`ch`]): a one-time preprocessing pass
+//!   (edge-difference node ordering, shortcut insertion, upward CSR) that
+//!   turns each point query into two tiny upward searches. Selected
+//!   automatically above [`CH_AUTO_THRESHOLD`] nodes, overridable with
+//!   `IGDB_SP_MODE=dijkstra|ch` or [`with_mode`].
 //!
-//! # Determinism
+//! # Determinism and the canonical-path contract
 //!
-//! The search is fully deterministic given (graph, source): edge relaxation
-//! follows CSR order (= insertion order) and ties in the heap are broken on
-//! the node index exactly as the previous per-graph implementations did.
+//! Queries are fully deterministic given (graph, source, target) and — by
+//! construction — **mode-independent**: the CH path and the Dijkstra path
+//! are bit-identical, including which of several equal-weight paths is
+//! returned and the exact `f64` total.
+//!
+//! This works because both algorithms minimize one shared lexicographic
+//! key per path: `(weight, hop count, tie)`, where `tie` is the exact
+//! `u128` sum of a per-arc pseudo-random perturbation
+//! (`splitmix64(arc index)`, identical on both directions of an arc).
+//! Distinct paths get distinct keys, so *the* shortest path is unique and
+//! both algorithms must agree on it. The reported weight is recomputed by
+//! left-to-right summation along the unpacked original-edge sequence, which
+//! is exactly how Dijkstra accumulates it, so even the floating-point total
+//! matches byte-for-byte. Tie sums are accumulated exactly (`u128`, no
+//! wrapping) because a wrapping sum is not monotone under extension and
+//! would break Dijkstra's prefix-optimality.
+//!
 //! Parallel callers hand each worker its own workspace; the engine itself
 //! is immutable and shared by reference.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
-/// Immutable CSR graph + Dijkstra. Weights must be non-negative and finite
-/// (asserted at build time); `f64::to_bits` then orders them correctly in
-/// the integer heap.
+mod ch;
+
+/// Heap entry: lexicographic path key `(weight bits, hops, tie)` plus the
+/// node index as the final tie-breaker. Weights are non-negative finite, so
+/// `f64::to_bits` orders them correctly as integers.
+type HeapKey = (u64, u32, u128, u32);
+
+/// Query algorithm used by [`ShortestPathEngine`]. Both modes return
+/// bit-identical results (see the module docs); they differ only in cost.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpMode {
+    /// Resumable generation-stamped Dijkstra. No preprocessing; best for
+    /// small graphs or one-shot queries.
+    Dijkstra,
+    /// Bidirectional contraction-hierarchy query over a lazily built
+    /// preprocessing layer. Best for many point queries on larger graphs.
+    Ch,
+}
+
+/// Nodes at or above this count select [`SpMode::Ch`] automatically when
+/// neither [`with_mode`] nor `IGDB_SP_MODE` says otherwise.
+pub const CH_AUTO_THRESHOLD: usize = 256;
+
+thread_local! {
+    static MODE_OVERRIDE: Cell<Option<SpMode>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with the shortest-path mode forced to `mode` on this thread,
+/// restoring the previous override afterwards (mirrors
+/// `igdb_par::with_threads`). The override does not propagate into
+/// `igdb-par` workers; use `IGDB_SP_MODE` for process-wide selection.
+pub fn with_mode<R>(mode: SpMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<SpMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE_OVERRIDE.with(|m| m.set(self.0));
+        }
+    }
+    let _restore = Restore(MODE_OVERRIDE.with(|m| m.replace(Some(mode))));
+    f()
+}
+
+fn env_mode() -> Option<SpMode> {
+    static ENV: OnceLock<Option<SpMode>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("IGDB_SP_MODE").ok()?;
+        match raw.to_ascii_lowercase().as_str() {
+            "dijkstra" => Some(SpMode::Dijkstra),
+            "ch" => Some(SpMode::Ch),
+            other => panic!("IGDB_SP_MODE must be `dijkstra` or `ch`, got `{other}`"),
+        }
+    })
+}
+
+/// Exact lexicographic path key. `w` and `hops` grow left-to-right along a
+/// path; `tie` is the exact sum of per-arc perturbations. Distinct paths
+/// have distinct keys (with overwhelming probability on `tie`), making the
+/// shortest path unique — the foundation of the CH/Dijkstra bit-identity
+/// contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct Key {
+    pub w: f64,
+    pub hops: u32,
+    pub tie: u128,
+}
+
+impl Key {
+    #[inline]
+    pub(crate) fn bits(self) -> (u64, u32, u128) {
+        (self.w.to_bits(), self.hops, self.tie)
+    }
+
+    #[inline]
+    pub(crate) fn lt(self, other: Key) -> bool {
+        self.bits() < other.bits()
+    }
+
+    /// Path extension: `self` then `other`. `w` uses f64 addition in
+    /// left-to-right order; `hops`/`tie` are exact integer sums.
+    #[inline]
+    pub(crate) fn add(self, other: Key) -> Key {
+        Key { w: self.w + other.w, hops: self.hops + other.hops, tie: self.tie + other.tie }
+    }
+}
+
+/// Deterministic per-arc tie perturbation; both CSR slots of one undirected
+/// arc share the value.
+pub(crate) fn arc_tie(arc_index: u64) -> u64 {
+    let mut x = arc_index.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Immutable CSR graph + Dijkstra + optional contraction hierarchy.
+/// Weights must be non-negative and finite (asserted at build time).
 pub struct ShortestPathEngine {
+    /// Process-unique id; lets workspaces detect cross-engine reuse instead
+    /// of resuming a stale search that happens to share a source index.
+    id: u64,
     offsets: Vec<u32>,
     targets: Vec<u32>,
     weights: Vec<f64>,
+    /// Per-CSR-slot tie perturbation (same value on both slots of an arc).
+    ties: Vec<u64>,
+    /// Original undirected arcs `(a, b, w, tie)` in insertion order; the CH
+    /// builder consumes these so duplicate arcs keep distinct ties.
+    arcs: Vec<(u32, u32, f64, u64)>,
+    hierarchy: OnceLock<ch::Hierarchy>,
 }
 
 /// Reusable per-caller state for [`ShortestPathEngine`] queries. One
 /// workspace serves any number of sequential queries; parallel callers use
-/// one workspace per worker.
+/// one workspace per worker. Holds both the Dijkstra search state and the
+/// two CH search scratches, so a workspace works under either mode.
 pub struct SpWorkspace {
     generation: u32,
-    /// Stamp equal to `generation` ⇔ `dist`/`prev` entries are valid.
+    /// Stamp equal to `generation` ⇔ `dist`/`hops`/`tie`/`prev` are valid.
     reached: Vec<u32>,
-    /// Stamp equal to `generation` ⇔ node is settled (final distance).
+    /// Stamp equal to `generation` ⇔ node is settled (final key).
     settled: Vec<u32>,
     dist: Vec<f64>,
+    hops: Vec<u32>,
+    tie: Vec<u128>,
     prev: Vec<u32>,
-    heap: BinaryHeap<(Reverse<u64>, u32)>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
     /// Source of the search currently held in the workspace.
     source: usize,
     /// True once the frontier drained: every reachable node is settled.
     exhausted: bool,
+    /// Engine the current search state belongs to (0 = none).
+    engine_id: u64,
+    ch_fwd: ch::ChSearch,
+    ch_bwd: ch::ChSearch,
+    /// Scratch for CH path unpacking.
+    unpack: Vec<u32>,
 }
+
+/// Reused workspaces shrink back to the live graph's size once their
+/// buffers exceed it by this factor (and the [`SHRINK_MIN`] floor), so a
+/// long-lived worker that once served a huge graph does not pin its memory
+/// forever.
+const SHRINK_FACTOR: usize = 4;
+const SHRINK_MIN: usize = 1 << 12;
 
 impl SpWorkspace {
     pub fn new() -> Self {
@@ -66,24 +207,73 @@ impl SpWorkspace {
             reached: Vec::new(),
             settled: Vec::new(),
             dist: Vec::new(),
+            hops: Vec::new(),
+            tie: Vec::new(),
             prev: Vec::new(),
             heap: BinaryHeap::new(),
             source: usize::MAX,
             exhausted: false,
+            engine_id: 0,
+            ch_fwd: ch::ChSearch::new(),
+            ch_bwd: ch::ChSearch::new(),
+            unpack: Vec::new(),
         }
     }
 
-    fn reset_for(&mut self, n: usize, source: usize) {
-        // Perf class: reset counts depend on how callers chunk work across
-        // workers (resume amortization), so they are not in the
-        // deterministic counter snapshot.
-        igdb_obs::perf("spath.resets", "", 1);
+    /// A workspace right-sized for `engine` up front: the first query pays
+    /// no incremental growth, and the stale-state guards are primed for
+    /// that engine.
+    pub fn for_engine(engine: &ShortestPathEngine) -> Self {
+        let mut ws = Self::new();
+        ws.size_to(engine.node_count());
+        ws.engine_id = engine.id;
+        ws
+    }
+
+    /// Bytes of buffer capacity currently held (diagnostic; used by the
+    /// shrink tests).
+    pub fn buffer_len(&self) -> usize {
+        self.reached.len()
+    }
+
+    fn size_to(&mut self, n: usize) {
         if self.reached.len() < n {
             self.reached.resize(n, 0);
             self.settled.resize(n, 0);
             self.dist.resize(n, f64::INFINITY);
+            self.hops.resize(n, 0);
+            self.tie.resize(n, 0);
             self.prev.resize(n, u32::MAX);
         }
+    }
+
+    /// Drops buffer tails (and capacity) when this workspace was last used
+    /// against a much larger graph.
+    fn maybe_shrink(&mut self, n: usize) {
+        if self.reached.len() > SHRINK_MIN && self.reached.len() / SHRINK_FACTOR >= n.max(1) {
+            self.reached.truncate(n);
+            self.settled.truncate(n);
+            self.dist.truncate(n);
+            self.hops.truncate(n);
+            self.tie.truncate(n);
+            self.prev.truncate(n);
+            self.reached.shrink_to_fit();
+            self.settled.shrink_to_fit();
+            self.dist.shrink_to_fit();
+            self.hops.shrink_to_fit();
+            self.tie.shrink_to_fit();
+            self.prev.shrink_to_fit();
+            self.heap = BinaryHeap::new();
+        }
+    }
+
+    fn reset_for(&mut self, n: usize, source: usize, engine_id: u64) {
+        // Perf class: reset counts depend on how callers chunk work across
+        // workers (resume amortization), so they are not in the
+        // deterministic counter snapshot.
+        igdb_obs::perf("spath.resets", "", 1);
+        self.maybe_shrink(n);
+        self.size_to(n);
         // Generation wrap: stamps from 4 billion queries ago could alias,
         // so clear them once per wrap.
         self.generation = self.generation.wrapping_add(1);
@@ -94,11 +284,14 @@ impl SpWorkspace {
         }
         self.heap.clear();
         self.source = source;
+        self.engine_id = engine_id;
         self.exhausted = false;
         self.reached[source] = self.generation;
         self.dist[source] = 0.0;
+        self.hops[source] = 0;
+        self.tie[source] = 0;
         self.prev[source] = u32::MAX;
-        self.heap.push((Reverse(0u64), source as u32));
+        self.heap.push(Reverse((0u64, 0u32, 0u128, source as u32)));
     }
 }
 
@@ -110,19 +303,26 @@ impl Default for SpWorkspace {
 
 impl ShortestPathEngine {
     /// Builds the CSR form of an undirected graph from `(a, b, weight)`
-    /// arcs. Per-node neighbor order equals arc insertion order (each arc
-    /// contributes `a→b` and `b→a` in sequence), matching the neighbor
-    /// order of the `Vec<Vec<…>>` adjacency it replaces.
-    pub fn from_undirected(n: usize, arcs: impl Iterator<Item = (usize, usize, f64)> + Clone) -> Self {
+    /// arcs in a single pass (arcs are collected once, so consuming
+    /// iterators work). Per-node neighbor order equals arc insertion order
+    /// (each arc contributes `a→b` and `b→a` in sequence), matching the
+    /// neighbor order of the `Vec<Vec<…>>` adjacency it replaced.
+    pub fn from_undirected<I>(n: usize, arcs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut collected: Vec<(u32, u32, f64, u64)> = Vec::new();
         let mut degree = vec![0u32; n];
-        let mut m = 0usize;
-        for (a, b, w) in arcs.clone() {
+        for (k, (a, b, w)) in arcs.into_iter().enumerate() {
             assert!(a < n && b < n, "arc ({a}, {b}) out of range for {n} nodes");
             assert!(w >= 0.0 && w.is_finite(), "negative or non-finite weight {w}");
+            // `w + 0.0` normalizes -0.0 so equal weights share one bit
+            // pattern in the lexicographic heap key.
+            collected.push((a as u32, b as u32, w + 0.0, arc_tie(k as u64)));
             degree[a] += 1;
             degree[b] += 1;
-            m += 2;
         }
+        let m = collected.len() * 2;
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0u32;
         offsets.push(0);
@@ -133,17 +333,28 @@ impl ShortestPathEngine {
         let mut cursor: Vec<u32> = offsets[..n].to_vec();
         let mut targets = vec![0u32; m];
         let mut weights = vec![0.0f64; m];
-        for (a, b, w) in arcs {
-            let ca = cursor[a] as usize;
-            targets[ca] = b as u32;
+        let mut ties = vec![0u64; m];
+        for &(a, b, w, tie) in &collected {
+            let ca = cursor[a as usize] as usize;
+            targets[ca] = b;
             weights[ca] = w;
-            cursor[a] += 1;
-            let cb = cursor[b] as usize;
-            targets[cb] = a as u32;
+            ties[ca] = tie;
+            cursor[a as usize] += 1;
+            let cb = cursor[b as usize] as usize;
+            targets[cb] = a;
             weights[cb] = w;
-            cursor[b] += 1;
+            ties[cb] = tie;
+            cursor[b as usize] += 1;
         }
-        Self { offsets, targets, weights }
+        Self {
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            offsets,
+            targets,
+            weights,
+            ties,
+            arcs: collected,
+            hierarchy: OnceLock::new(),
+        }
     }
 
     pub fn node_count(&self) -> usize {
@@ -154,25 +365,69 @@ impl ShortestPathEngine {
         self.targets.len() / 2
     }
 
+    pub(crate) fn arcs(&self) -> &[(u32, u32, f64, u64)] {
+        &self.arcs
+    }
+
     pub fn degree(&self, node: usize) -> usize {
-        if node + 1 >= self.offsets.len() {
-            return 0;
-        }
+        debug_assert!(
+            node < self.node_count(),
+            "node {node} out of range for {} nodes",
+            self.node_count()
+        );
         (self.offsets[node + 1] - self.offsets[node]) as usize
     }
 
-    fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+    fn neighbors(&self, node: usize) -> impl Iterator<Item = (usize, f64, u64)> + '_ {
         let lo = self.offsets[node] as usize;
         let hi = self.offsets[node + 1] as usize;
         self.targets[lo..hi]
             .iter()
             .zip(&self.weights[lo..hi])
-            .map(|(&t, &w)| (t as usize, w))
+            .zip(&self.ties[lo..hi])
+            .map(|((&t, &w), &tie)| (t as usize, w, tie))
+    }
+
+    /// Shared bounds check for every query entry point: out-of-range
+    /// endpoints make the query unanswerable (`None`), not a panic — the
+    /// callers pass metro ids straight from snapshot joins.
+    #[inline]
+    fn pair_in_range(&self, from: usize, to: usize) -> bool {
+        let n = self.node_count();
+        from < n && to < n
+    }
+
+    /// Mode this engine resolves to right now: thread override, then
+    /// `IGDB_SP_MODE`, then the node-count auto threshold.
+    pub fn resolved_mode(&self) -> SpMode {
+        if let Some(mode) = MODE_OVERRIDE.with(|m| m.get()) {
+            return mode;
+        }
+        if let Some(mode) = env_mode() {
+            return mode;
+        }
+        if self.node_count() >= CH_AUTO_THRESHOLD {
+            SpMode::Ch
+        } else {
+            SpMode::Dijkstra
+        }
+    }
+
+    /// Forces the contraction hierarchy to exist (it is otherwise built
+    /// lazily on the first CH-mode query). Useful for benches that must
+    /// keep preprocessing out of the timed region.
+    pub fn prepare_ch(&self) {
+        self.hierarchy();
+    }
+
+    pub(crate) fn hierarchy(&self) -> &ch::Hierarchy {
+        self.hierarchy.get_or_init(|| ch::Hierarchy::build(self))
     }
 
     /// Shortest path `from → to` as `(node sequence, total weight)`, using
     /// (and advancing) `ws`. Consecutive queries from the same `from`
     /// resume the retained search; a new source restarts it in O(1).
+    /// Results are identical under both [`SpMode`]s.
     pub fn shortest_path_with(
         &self,
         ws: &mut SpWorkspace,
@@ -180,22 +435,25 @@ impl ShortestPathEngine {
         to: usize,
     ) -> Option<(Vec<usize>, f64)> {
         igdb_obs::counter("spath.queries", "", 1);
-        let n = self.node_count();
-        if from >= n || to >= n {
+        self.shortest_path_inner(ws, from, to)
+    }
+
+    fn shortest_path_inner(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        to: usize,
+    ) -> Option<(Vec<usize>, f64)> {
+        if !self.pair_in_range(from, to) {
             return None;
         }
         if from == to {
             return Some((vec![from], 0.0));
         }
-        if ws.source != from || ws.generation == 0 || ws.reached.len() < n {
-            ws.reset_for(n, from);
+        if self.resolved_mode() == SpMode::Ch {
+            return self.hierarchy().shortest_path(self, ws, from, to);
         }
-        if ws.settled[to] != ws.generation && !ws.exhausted {
-            self.run_until_settled(ws, to);
-        }
-        if ws.settled[to] != ws.generation {
-            return None;
-        }
+        self.ensure_settled(ws, from, to)?;
         // Reconstruct by walking prev back to the source.
         let mut path = vec![to];
         let mut cur = to;
@@ -207,30 +465,49 @@ impl ShortestPathEngine {
         Some((path, ws.dist[to]))
     }
 
+    /// Dijkstra-mode core: makes `ws` hold a search from `from` with `to`
+    /// settled, or returns `None` if `to` is unreachable.
+    fn ensure_settled(&self, ws: &mut SpWorkspace, from: usize, to: usize) -> Option<()> {
+        let n = self.node_count();
+        if ws.engine_id != self.id || ws.source != from || ws.generation == 0 || ws.reached.len() < n
+        {
+            ws.reset_for(n, from, self.id);
+        }
+        if ws.settled[to] != ws.generation && !ws.exhausted {
+            self.run_until_settled(ws, to);
+        }
+        (ws.settled[to] == ws.generation).then_some(())
+    }
+
     /// Advances the workspace's Dijkstra until `target` settles or the
-    /// frontier drains.
+    /// frontier drains. Relaxation minimizes the full lexicographic key
+    /// `(weight, hops, tie)` — see the module docs.
     fn run_until_settled(&self, ws: &mut SpWorkspace, target: usize) {
         let generation = ws.generation;
         let mut settled_now = 0u64;
         let mut hit = false;
-        while let Some((Reverse(dbits), u32u)) = ws.heap.pop() {
+        while let Some(Reverse((_, _, _, u32u))) = ws.heap.pop() {
             let u = u32u as usize;
-            let d = f64::from_bits(dbits);
-            // Stale heap entry: the node settled earlier at a smaller
-            // distance.
+            // Stale heap entry: the node settled earlier at a smaller key.
             if ws.settled[u] == generation {
                 continue;
             }
             ws.settled[u] = generation;
             settled_now += 1;
-            for (v, w) in self.neighbors(u) {
+            let (d, h, t) = (ws.dist[u], ws.hops[u], ws.tie[u]);
+            for (v, w, tie) in self.neighbors(u) {
                 let nd = d + w;
-                let fresh = ws.reached[v] != generation;
-                if fresh || nd < ws.dist[v] {
+                let nh = h + 1;
+                let nt = t + tie as u128;
+                let better = ws.reached[v] != generation
+                    || (nd.to_bits(), nh, nt) < (ws.dist[v].to_bits(), ws.hops[v], ws.tie[v]);
+                if better {
                     ws.reached[v] = generation;
                     ws.dist[v] = nd;
+                    ws.hops[v] = nh;
+                    ws.tie[v] = nt;
                     ws.prev[v] = u as u32;
-                    ws.heap.push((Reverse(nd.to_bits()), v as u32));
+                    ws.heap.push(Reverse((nd.to_bits(), nh, nt, v as u32)));
                 }
             }
             if u == target {
@@ -250,20 +527,49 @@ impl ShortestPathEngine {
     /// Total shortest-path weight `from → to` (no path reconstruction).
     pub fn distance_with(&self, ws: &mut SpWorkspace, from: usize, to: usize) -> Option<f64> {
         igdb_obs::counter("spath.queries", "", 1);
-        let n = self.node_count();
-        if from >= n || to >= n {
+        self.distance_inner(ws, from, to)
+    }
+
+    fn distance_inner(&self, ws: &mut SpWorkspace, from: usize, to: usize) -> Option<f64> {
+        if !self.pair_in_range(from, to) {
             return None;
         }
         if from == to {
             return Some(0.0);
         }
-        if ws.source != from || ws.generation == 0 || ws.reached.len() < n {
-            ws.reset_for(n, from);
+        if self.resolved_mode() == SpMode::Ch {
+            // CH distances are recomputed along the unpacked path so the
+            // f64 total matches Dijkstra's left-to-right accumulation.
+            return self.hierarchy().shortest_path(self, ws, from, to).map(|(_, w)| w);
         }
-        if ws.settled[to] != ws.generation && !ws.exhausted {
-            self.run_until_settled(ws, to);
-        }
-        (ws.settled[to] == ws.generation).then(|| ws.dist[to])
+        self.ensure_settled(ws, from, to)?;
+        Some(ws.dist[to])
+    }
+
+    /// Batched one-to-many distances: one query stream from `from` to each
+    /// of `targets`, sharing the forward search across the whole batch
+    /// (resumable Dijkstra in [`SpMode::Dijkstra`], one upward search plus
+    /// a per-target backward search in [`SpMode::Ch`]). Entry `i` is the
+    /// distance to `targets[i]`, `None` when unreachable or out of range.
+    pub fn distances_from(
+        &self,
+        ws: &mut SpWorkspace,
+        from: usize,
+        targets: &[usize],
+    ) -> Vec<Option<f64>> {
+        igdb_obs::counter("spath.queries", "", targets.len() as u64);
+        targets.iter().map(|&to| self.distance_inner(ws, from, to)).collect()
+    }
+
+    /// Batched many-to-many distances; row `i` is
+    /// `distances_from(sources[i], targets)`.
+    pub fn many_to_many(
+        &self,
+        ws: &mut SpWorkspace,
+        sources: &[usize],
+        targets: &[usize],
+    ) -> Vec<Vec<Option<f64>>> {
+        sources.iter().map(|&from| self.distances_from(ws, from, targets)).collect()
     }
 }
 
@@ -325,12 +631,106 @@ mod tests {
     }
 
     #[test]
+    fn workspace_survives_engine_switches() {
+        // Same source index, different engine: the workspace must not
+        // resume the stale search.
+        let a = engine(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let b = engine(4, &[(0, 1, 5.0), (1, 3, 5.0)]);
+        let mut ws = SpWorkspace::new();
+        assert_eq!(a.distance_with(&mut ws, 0, 3), Some(3.0));
+        assert_eq!(b.distance_with(&mut ws, 0, 3), Some(10.0));
+        assert_eq!(a.distance_with(&mut ws, 0, 3), Some(3.0));
+    }
+
+    #[test]
     fn zero_weight_edges_are_fine() {
         let e = engine(3, &[(0, 1, 0.0), (1, 2, 0.0)]);
         let mut ws = SpWorkspace::new();
         let (path, km) = e.shortest_path_with(&mut ws, 0, 2).unwrap();
         assert_eq!(path, vec![0, 1, 2]);
         assert_eq!(km, 0.0);
+    }
+
+    #[test]
+    fn single_pass_construction_accepts_consuming_iterators() {
+        // A non-Clone iterator (mutable state captured by move).
+        let mut produced = 0usize;
+        let arcs = std::iter::from_fn(move || {
+            if produced < 3 {
+                let a = produced;
+                produced += 1;
+                Some((a, a + 1, 1.0))
+            } else {
+                None
+            }
+        });
+        let e = ShortestPathEngine::from_undirected(4, arcs);
+        let mut ws = SpWorkspace::for_engine(&e);
+        assert_eq!(e.distance_with(&mut ws, 0, 3), Some(3.0));
+    }
+
+    #[test]
+    fn distances_from_matches_individual_queries() {
+        let mut arcs = Vec::new();
+        for i in 0..12usize {
+            arcs.push((i, (i + 1) % 12, 1.0 + (i % 4) as f64));
+        }
+        arcs.push((0, 6, 2.25));
+        let e = engine(12, &arcs);
+        let targets: Vec<usize> = (0..12).rev().collect();
+        let mut ws = SpWorkspace::for_engine(&e);
+        let batch = e.distances_from(&mut ws, 4, &targets);
+        for (i, &to) in targets.iter().enumerate() {
+            let mut fresh = SpWorkspace::new();
+            assert_eq!(batch[i], e.distance_with(&mut fresh, 4, to), "target {to}");
+        }
+        let rows = e.many_to_many(&mut ws, &[0, 5], &targets);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], e.distances_from(&mut SpWorkspace::new(), 0, &targets));
+    }
+
+    #[test]
+    fn workspace_shrinks_after_large_graph() {
+        // Pin Dijkstra: the big graph is over the CH auto threshold, and
+        // this test is about the Dijkstra buffers.
+        with_mode(SpMode::Dijkstra, || {
+            let big_n = (SHRINK_MIN * SHRINK_FACTOR) + 8;
+            let arcs: Vec<(usize, usize, f64)> = (0..big_n - 1).map(|i| (i, i + 1, 1.0)).collect();
+            let big = ShortestPathEngine::from_undirected(big_n, arcs);
+            let small = engine(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+            let mut ws = SpWorkspace::new();
+            assert_eq!(big.distance_with(&mut ws, 0, 4), Some(4.0));
+            assert_eq!(ws.buffer_len(), big_n);
+            assert_eq!(small.distance_with(&mut ws, 0, 3), Some(3.0));
+            assert_eq!(ws.buffer_len(), 4, "buffers shrink back to the live graph");
+            // And the shrunken workspace still answers correctly.
+            assert_eq!(small.distance_with(&mut ws, 3, 0), Some(3.0));
+        });
+    }
+
+    #[test]
+    fn mode_override_round_trips() {
+        assert_eq!(
+            with_mode(SpMode::Ch, || MODE_OVERRIDE.with(|m| m.get())),
+            Some(SpMode::Ch)
+        );
+        assert_eq!(MODE_OVERRIDE.with(|m| m.get()), None);
+        let e = engine(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let (d_path, c_path) = (
+            with_mode(SpMode::Dijkstra, || {
+                e.shortest_path_with(&mut SpWorkspace::new(), 0, 2)
+            }),
+            with_mode(SpMode::Ch, || e.shortest_path_with(&mut SpWorkspace::new(), 0, 2)),
+        );
+        assert_eq!(d_path, c_path);
+        assert_eq!(d_path, Some((vec![0, 1, 2], 2.0)));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degree_out_of_range_asserts() {
+        engine(2, &[(0, 1, 1.0)]).degree(7);
     }
 
     #[test]

@@ -186,6 +186,45 @@ where
     }
 }
 
+/// Order-preserving parallel map with reusable per-worker state:
+/// `init` runs once per worker (inside that worker) to build scratch
+/// state, and `f(&mut state, item)` maps each item through it. Items are
+/// split into contiguous chunks like [`par_chunks`], so the output order —
+/// and, for a pure `f`, every output value — is identical at any worker
+/// count; only how the scratch is shared across items varies.
+///
+/// Use this when per-item work needs a mutable scratch (e.g. a search
+/// workspace) that is expensive to build per item but cannot be shared
+/// across threads.
+pub fn par_map_with<T, S, R, FS, F>(items: &[T], init: FS, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    FS: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    igdb_obs::counter("par.invocations", "map_with", 1);
+    igdb_obs::counter("par.items", "map_with", items.len() as u64);
+    let workers = num_threads().min(items.len().max(1));
+    if workers <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        igdb_obs::perf("par.tasks", "worker0", items.len() as u64);
+        let mut state = init();
+        return items.iter().map(|t| f(&mut state, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let chunks: Vec<&[T]> = items.chunks(chunk).collect();
+    par_map_inner(&chunks, |c| {
+        let mut state = init();
+        c.iter().map(|t| f(&mut state, t)).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Parallel map over disjoint chunks: the slice is split into
 /// `num_threads()` near-equal contiguous chunks and `f(chunk_index, chunk)`
 /// runs on each concurrently. Returns per-chunk results in chunk order;
@@ -267,6 +306,29 @@ mod tests {
             })
         });
         assert!(ids.lock().unwrap().len() > 1, "expected >1 worker thread");
+    }
+
+    #[test]
+    fn par_map_with_matches_serial_and_reuses_state() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        for threads in [1, 2, 5] {
+            let out = with_threads(threads, || {
+                par_map_with(
+                    &items,
+                    || Vec::<u64>::new(),
+                    |scratch, &x| {
+                        // Scratch persists across the items of one worker.
+                        scratch.push(x);
+                        assert!(!scratch.is_empty());
+                        x * 7
+                    },
+                )
+            });
+            assert_eq!(out, serial, "threads={threads}");
+        }
+        let empty: Vec<u64> = vec![];
+        assert!(par_map_with(&empty, || (), |_, x| *x).is_empty());
     }
 
     #[test]
