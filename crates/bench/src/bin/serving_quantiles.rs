@@ -1,0 +1,73 @@
+//! Serving-latency quantiles for the `phys_routing_mesh_medium` workload:
+//! the same interleaved pair stream the Criterion group times, but run
+//! under an installed registry so the `spath.query_us{dijkstra|ch}`
+//! histograms capture per-query latency, reported as p50/p90/p99
+//! (EXPERIMENTS.md records a captured run).
+//!
+//! ```text
+//! cargo run --release -p igdb-bench --bin serving_quantiles [--scale medium]
+//! ```
+
+use igdb_bench::{fixture, Scale};
+use igdb_core::analysis::physpath::PhysGraph;
+use igdb_core::igdb_obs;
+use igdb_core::{with_mode, SpMode, SpWorkspace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let f = fixture(scale);
+    let graph = PhysGraph::from_igdb(&f.igdb);
+
+    // Evenly spaced connected metros, as in the Criterion group: an
+    // interleaved stream (source changes every query) that resume
+    // amortization can't help.
+    let connected: Vec<usize> =
+        (0..graph.engine().node_count()).filter(|&m| graph.degree(m) > 0).collect();
+    let k = connected.len().min(48);
+    let stride = connected.len() / k.max(1);
+    let nodes: Vec<usize> = (0..k).map(|i| connected[i * stride]).collect();
+    println!(
+        "== serving latency quantiles (scale: {scale:?}, {} metros, {} probe nodes) ==",
+        graph.engine().node_count(),
+        nodes.len()
+    );
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "queries", "p50 µs", "p90 µs", "p99 µs", "mean µs"
+    );
+
+    // CH preprocessing outside the timed region, as a serving deployment
+    // would pay it: once at startup.
+    graph.engine().prepare_ch();
+    let reg = igdb_obs::Registry::new();
+    {
+        let _g = reg.install();
+        for mode in [SpMode::Dijkstra, SpMode::Ch] {
+            let mut ws = SpWorkspace::new();
+            with_mode(mode, || {
+                for &t in &nodes {
+                    for &s in &nodes {
+                        if s != t {
+                            let _ = graph.engine().shortest_path_with(&mut ws, s, t);
+                        }
+                    }
+                }
+            });
+        }
+    }
+    for mode in [SpMode::Dijkstra, SpMode::Ch] {
+        let h = reg
+            .histogram("spath.query_us", mode.label())
+            .expect("latency histogram recorded");
+        println!(
+            "{:<28} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            mode.label(),
+            h.count,
+            h.quantile(0.50),
+            h.quantile(0.90),
+            h.quantile(0.99),
+            h.mean()
+        );
+    }
+}

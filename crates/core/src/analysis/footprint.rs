@@ -24,6 +24,8 @@ pub struct CountryPresenceRow {
 /// `limit` bounds the rows returned (the paper prints 11).
 pub fn top_by_countries(igdb: &Igdb, limit: usize) -> Vec<CountryPresenceRow> {
     let _span = igdb_obs::span("analysis.footprint");
+    igdb_obs::counter("analysis.queries", "footprint", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "footprint");
     // GROUP BY asn, COUNT(DISTINCT country) over asn_loc — non-inferred
     // rows only, matching the paper's baseline footprints.
     let groups = igdb
@@ -93,6 +95,8 @@ pub struct OverlapReport {
 /// Computes the geographic overlap of two organizations (Figure 6).
 pub fn org_overlap(igdb: &Igdb, org_a: &str, org_b: &str) -> OverlapReport {
     let _span = igdb_obs::span("analysis.footprint.overlap");
+    igdb_obs::counter("analysis.queries", "footprint.overlap", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "footprint.overlap");
     let asns_a = igdb.asns_of_org(org_a);
     let asns_b = igdb.asns_of_org(org_b);
     let metros = |asns: &[Asn]| -> Vec<usize> {

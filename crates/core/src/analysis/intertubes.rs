@@ -63,6 +63,8 @@ pub fn compare_with_width(
     corridor_km: f64,
 ) -> IntertubesReport {
     let _span = igdb_obs::span("analysis.intertubes");
+    igdb_obs::counter("analysis.queries", "intertubes", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "intertubes");
     // iGDB inferred path geometries, parsed once per database and shared
     // across repeated comparisons (e.g. corridor-width ablations).
     let igdb_paths = igdb.phys_path_geometries();

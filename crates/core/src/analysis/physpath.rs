@@ -143,6 +143,8 @@ pub fn physical_path_report_with(
     graph: &PhysGraph,
     hop_ips: &[Ip4],
 ) -> Option<PhysicalPathReport> {
+    igdb_obs::counter("analysis.queries", "physpath", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "physpath");
     // 1. Geolocate hops, collapsing consecutive same-metro runs; remember
     //    the ASes active around each leg.
     let mut observed: Vec<usize> = Vec::new();

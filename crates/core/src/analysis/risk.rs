@@ -29,6 +29,8 @@ pub struct RiskReport {
 /// Computes exposure of the physical layer to a hazard polygon.
 pub fn exposure(igdb: &Igdb, region: &Polygon) -> RiskReport {
     let _span = igdb_obs::span("analysis.risk");
+    igdb_obs::counter("analysis.queries", "risk", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "risk");
     let mut paths_at_risk = Vec::new();
     igdb.db
         .with_table("phys_conn", |t| {
@@ -98,6 +100,8 @@ pub enum Reroute {
 /// crossing `region` fails.
 pub fn reroute(igdb: &Igdb, region: &Polygon, from: usize, to: usize) -> Option<Reroute> {
     let _span = igdb_obs::span("analysis.risk.reroute");
+    igdb_obs::counter("analysis.queries", "risk.reroute", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "risk.reroute");
     let report = exposure(igdb, region);
     let failed: std::collections::HashSet<(usize, usize)> = report
         .paths_at_risk

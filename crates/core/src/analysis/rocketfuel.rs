@@ -45,6 +45,8 @@ pub struct RocketfuelReport {
 /// Maps a Rocketfuel-style logical map onto iGDB physical corridors.
 pub fn remap(igdb: &Igdb, map: &RocketfuelMap) -> RocketfuelReport {
     let _span = igdb_obs::span("analysis.rocketfuel");
+    igdb_obs::counter("analysis.queries", "rocketfuel", 1);
+    let _t = igdb_obs::hist_timer("analysis.query_us", "rocketfuel");
     // Shared graph + corridor cache: logical edges repeat metro pairs, and
     // other analyses (physpath, risk) route over the same corridors.
     let graph = igdb.phys_graph();

@@ -37,6 +37,10 @@ enum CliError {
         action: &'static str,
         source: std::io::Error,
     },
+    /// `metrics diff` found divergences (the delta table is already on
+    /// stdout). Reserved exit code 2 so CI can tell "regression" from
+    /// "broken invocation".
+    Diverged { divergences: usize },
 }
 
 impl fmt::Display for CliError {
@@ -49,6 +53,11 @@ impl fmt::Display for CliError {
                 action,
                 source,
             } => write!(f, "cannot {action} {}: {source}", path.display()),
+            CliError::Diverged { divergences } => write!(
+                f,
+                "metrics diverged from baseline ({divergences} divergence{})",
+                if *divergences == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -97,6 +106,7 @@ fn main() -> ExitCode {
         "metro" => cmd_metro(&args[1..]).map_err(CliError::from),
         "export" => cmd_export(&args[1..]).map_err(CliError::from),
         "metrics" => cmd_metrics(&args[1..]),
+        "queries" => cmd_queries(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -105,6 +115,10 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
+        Err(e @ CliError::Diverged { .. }) => {
+            eprintln!("igdb: {e}");
+            ExitCode::from(2)
+        }
         Err(e) => {
             eprintln!("igdb: {e}");
             ExitCode::FAILURE
@@ -126,8 +140,20 @@ commands:
           spans as JSON-lines, --trace prints the span tree to stderr
   tables  --db DIR
           list relations and row counts
-  metrics --in FILE.jsonl
-          render a saved --metrics JSON-lines stream as a table
+  metrics --in FILE.jsonl [--profile]
+          render a saved --metrics JSON-lines stream as a table;
+          --profile appends the flame-style span profile (per-span total
+          and self time, call counts, critical path)
+  metrics diff BASELINE.jsonl CURRENT.jsonl [--perf-tolerance PCT]
+          regression gate: counters must match exactly and the span tree
+          structurally (timing ignored); perf counters and histograms are
+          compared only when --perf-tolerance gives a relative band.
+          Exits 2 with a per-metric delta table on divergence
+  queries --out FILE.jsonl [--scale tiny|medium] [--date YYYY-MM-DD]
+          [--mesh N] [--deterministic]
+          build a database and serve the fixed synthetic query mix (all
+          five analyses), writing serving telemetry as JSON-lines;
+          --deterministic redacts timing (the committed-baseline format)
   query   --db DIR --table NAME [--where col=value ...] [--select a,b,c]
           [--limit N] [--order col[:desc]]
   metro   --db DIR --lon X --lat Y
@@ -271,12 +297,119 @@ fn render_spans(reg: &igdb_obs::Registry) -> String {
     out
 }
 
+/// Reads and parses a JSON-lines metrics stream; parse errors carry the
+/// path and the offending line number (the parser prefixes `line N:`).
+fn load_metrics(path: &Path) -> Result<igdb_obs::Registry, CliError> {
+    let doc = io_ctx(std::fs::read_to_string(path), "read metrics file", path)?;
+    igdb_obs::Registry::from_json_lines(&doc)
+        .map_err(|e| CliError::Usage(format!("malformed metrics file {}: {e}", path.display())))
+}
+
 fn cmd_metrics(args: &[String]) -> Result<(), CliError> {
+    if args.first().map(String::as_str) == Some("diff") {
+        return cmd_metrics_diff(&args[1..]);
+    }
     let input = PathBuf::from(require(args, "--in")?);
-    let doc = io_ctx(std::fs::read_to_string(&input), "read metrics file", &input)?;
-    let reg = igdb_obs::Registry::from_json_lines(&doc)
-        .map_err(|e| format!("malformed metrics file {}: {e}", input.display()))?;
+    let reg = load_metrics(&input)?;
     print!("{}", reg.render_table());
+    if args.iter().any(|a| a == "--profile") {
+        print!("{}", reg.profile().render_table());
+    }
+    Ok(())
+}
+
+/// `igdb metrics diff BASELINE.jsonl CURRENT.jsonl [--perf-tolerance PCT]`
+/// — the regression gate. Exit 0 when clean, exit 2 with a per-metric
+/// delta table on divergence.
+fn cmd_metrics_diff(args: &[String]) -> Result<(), CliError> {
+    // Positional operands, skipping the value of --perf-tolerance.
+    let mut files = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--perf-tolerance" {
+            i += 2;
+            continue;
+        }
+        if !args[i].starts_with("--") {
+            files.push(PathBuf::from(&args[i]));
+        }
+        i += 1;
+    }
+    let [baseline, current] = files.as_slice() else {
+        return Err("metrics diff wants exactly two files: BASELINE.jsonl CURRENT.jsonl".into());
+    };
+    let tolerance = flag(args, "--perf-tolerance")
+        .map(|t| t.parse::<f64>().map_err(|e| format!("bad --perf-tolerance: {e}")))
+        .transpose()?;
+    if let Some(t) = tolerance {
+        if !(t >= 0.0) {
+            return Err("--perf-tolerance wants a percentage >= 0".into());
+        }
+    }
+    let base = load_metrics(baseline)?;
+    let cur = load_metrics(current)?;
+    let report = igdb_obs::diff_registries(&base, &cur, tolerance);
+    print!("{}", report.render_table());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(CliError::Diverged { divergences: report.rows.len() })
+    }
+}
+
+/// `igdb queries` — build a database at the given scale and serve the
+/// fixed synthetic query mix, writing serving telemetry as JSON-lines.
+/// The build runs *outside* the registry so the stream holds only the
+/// serving-path telemetry the metrics gate compares.
+fn cmd_queries(args: &[String]) -> Result<(), CliError> {
+    let out = PathBuf::from(require(args, "--out")?);
+    let scale = flag(args, "--scale").unwrap_or_else(|| "tiny".into());
+    let date = flag(args, "--date").unwrap_or_else(|| "2022-05-03".into());
+    let mesh: usize = flag(args, "--mesh")
+        .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
+        .transpose()?
+        .unwrap_or(500);
+    let config = match scale.as_str() {
+        "tiny" => WorldConfig::tiny(),
+        "medium" => WorldConfig::medium(),
+        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
+    };
+    let mode = if args.iter().any(|a| a == "--deterministic") {
+        igdb_obs::JsonMode::Deterministic
+    } else {
+        igdb_obs::JsonMode::Full
+    };
+    use std::io::Write as _;
+    let mut out_file = io_ctx(std::fs::File::create(&out), "create metrics file", &out)?;
+
+    eprintln!("generating world ({scale})…");
+    let world = World::generate(config);
+    eprintln!("emitting snapshots for {date}…");
+    let snaps = emit_snapshots(&world, &date, mesh);
+    eprintln!("building database…");
+    let igdb = Igdb::build(&snaps);
+    eprintln!("serving query mix…");
+    let registry = igdb_obs::Registry::new();
+    let summary = {
+        let _g = registry.install();
+        igdb_core::run_query_mix(&world, &igdb)
+    };
+    eprintln!(
+        "served: {} physpath reports, {} intertubes links covered, {} rocketfuel edges, {} paths at risk, {} footprint rows",
+        summary.physpath_reports,
+        summary.intertubes_covered,
+        summary.rocketfuel_mapped,
+        summary.risk_paths,
+        summary.footprint_rows
+    );
+    let mut doc = registry.json_lines(mode);
+    if mode == igdb_obs::JsonMode::Full {
+        // The profile section is derived from the span lines; the parser
+        // skips it, so the stream still round-trips and diffs.
+        doc.push_str(&registry.profile().json_lines());
+    }
+    io_ctx(out_file.write_all(doc.as_bytes()), "write metrics file", &out)?;
+    eprintln!("wrote serving telemetry to {}", out.display());
     Ok(())
 }
 

@@ -66,6 +66,9 @@ impl<V: Clone> PairCache<V> {
             .clone();
         if miss {
             igdb_obs::perf("corridor.cache_misses", self.name, 1);
+            // Occupancy sampled on each miss gives a growth curve of the
+            // cache (hist of sizes seen), without a hot-path lock on hits.
+            igdb_obs::observe("corridor.occupancy", self.name, self.len() as u64);
         } else {
             igdb_obs::perf("corridor.cache_hits", self.name, 1);
         }

@@ -37,6 +37,7 @@ pub mod hoiho;
 pub mod metros;
 pub mod roads;
 pub mod schema;
+pub mod serving;
 pub mod spath;
 pub mod validate;
 
@@ -55,4 +56,5 @@ pub use hoiho::HoihoEngine;
 pub use metros::{Metro, MetroRegistry};
 pub use corridor::CorridorCache;
 pub use roads::RoadGraph;
+pub use serving::{run_query_mix, QueryMixSummary};
 pub use spath::{with_mode, ShortestPathEngine, SpMode, SpWorkspace, CH_AUTO_THRESHOLD};

@@ -1,0 +1,151 @@
+//! Fixed synthetic serving workload for telemetry and the regression gate.
+//!
+//! The paper's value is in *repeated* cross-layer queries over a built
+//! database, so the telemetry layer needs a workload that exercises every
+//! analysis entry point the same way on every run: the query mix below is
+//! a pure function of the built world (no randomness, no environment), so
+//! its deterministic counter stream is byte-identical across worker counts
+//! and shortest-path modes — exactly what `igdb metrics diff` gates on in
+//! CI against the committed `tests/golden/serving.jsonl` baseline.
+//!
+//! The mix covers all five §4 analyses:
+//!
+//! 1. **physpath** — the Figure 7 batch over the full traceroute mesh;
+//! 2. **intertubes** — the Figure 4 long-haul comparison;
+//! 3. **rocketfuel** — the Figure 8 logical-map remap;
+//! 4. **risk** — Gulf-coast hurricane exposure plus a Dallas→Atlanta
+//!    reroute (the RiskRoute scenario from `examples/risk_assessment.rs`);
+//! 5. **footprint** — Table 2 country presence plus the Figure 6 overlap
+//!    of the top two organizations.
+
+use igdb_geo::{GeoPoint, Polygon};
+use igdb_net::Ip4;
+use igdb_synth::intertubes::{intertubes_recreation, rocketfuel_recreation};
+use igdb_synth::World;
+
+use crate::analysis::{footprint, intertubes, physpath, risk, rocketfuel};
+use crate::build::Igdb;
+
+/// Deterministic, data-derived summary of one query-mix run. Every field
+/// is a function of the built database, never of scheduling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryMixSummary {
+    /// Traceroutes that produced a physical-path report.
+    pub physpath_reports: usize,
+    /// Long-haul links the InterTubes comparison covered.
+    pub intertubes_covered: usize,
+    /// Rocketfuel logical edges mapped onto physical corridors.
+    pub rocketfuel_mapped: usize,
+    /// Physical paths crossing the hazard region.
+    pub risk_paths: usize,
+    /// Table 2 rows returned by the footprint query.
+    pub footprint_rows: usize,
+}
+
+/// The hazard polygon used by the risk leg of the mix: a hurricane
+/// landfall box over the US Gulf coast (27°–31.5°N, 98°–88°W).
+pub fn gulf_hazard() -> Polygon {
+    Polygon::new(
+        vec![
+            GeoPoint::raw(-98.0, 27.0),
+            GeoPoint::raw(-88.0, 27.0),
+            GeoPoint::raw(-88.0, 31.5),
+            GeoPoint::raw(-98.0, 31.5),
+        ],
+        vec![],
+    )
+}
+
+/// Runs the fixed serving mix against a built database, emitting the
+/// serving counters, latency histograms and analysis spans into the
+/// currently installed [`igdb_obs::Registry`] (if any).
+pub fn run_query_mix(world: &World, igdb: &Igdb) -> QueryMixSummary {
+    let _span = igdb_obs::span("serving.query_mix");
+
+    // Warm the CH layer up front in *both* modes, from serial code: a
+    // serving deployment pays preprocessing once at startup, and doing it
+    // unconditionally keeps the deterministic counter stream SP-mode
+    // invariant (the CH build's `par.*` counters would otherwise appear
+    // only under `IGDB_SP_MODE=ch`).
+    {
+        let _prep = igdb_obs::span("serving.prepare_ch");
+        igdb.phys_graph().engine().prepare_ch();
+    }
+
+    // 1. Physical paths for the whole anchor-mesh traceroute set, in
+    //    parallel (one report per trace, input order).
+    let traces: Vec<Vec<Ip4>> = igdb
+        .traces
+        .iter()
+        .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
+        .collect();
+    let reports = physpath::physical_path_reports_with(igdb, igdb.phys_graph(), &traces);
+    let physpath_reports = reports.iter().flatten().count();
+
+    // 2. InterTubes long-haul comparison.
+    let links = intertubes_recreation(&world.cities, &world.row);
+    let it = intertubes::compare(igdb, &links);
+
+    // 3. Rocketfuel logical-map remap.
+    let map = rocketfuel_recreation(world);
+    let rf = rocketfuel::remap(igdb, &map);
+
+    // 4. Hazard exposure + reroute of a pair whose traffic crosses the
+    //    Gulf (skipped quietly at scales where the metros don't exist).
+    let hazard = gulf_hazard();
+    let exposure = risk::exposure(igdb, &hazard);
+    if let (Some(a), Some(b)) =
+        (igdb.metros.by_name("Dallas"), igdb.metros.by_name("Atlanta"))
+    {
+        let _ = risk::reroute(igdb, &hazard, a, b);
+    }
+
+    // 5. AS footprints: Table 2 plus the overlap of the top two orgs.
+    let rows = footprint::top_by_countries(igdb, 11);
+    if let [a, b, ..] = rows.as_slice() {
+        let _ = footprint::org_overlap(igdb, &a.organization, &b.organization);
+    }
+
+    igdb_obs::counter("serving.mix_runs", "", 1);
+    QueryMixSummary {
+        physpath_reports,
+        intertubes_covered: it.covered,
+        rocketfuel_mapped: rf.mapped_edges,
+        risk_paths: exposure.paths_at_risk.len(),
+        footprint_rows: rows.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igdb_synth::{emit_snapshots, WorldConfig};
+
+    #[test]
+    fn query_mix_covers_every_analysis() {
+        let world = World::generate(WorldConfig::tiny());
+        let snaps = emit_snapshots(&world, "2022-05-03", 120);
+        let igdb = Igdb::build(&snaps);
+        let reg = igdb_obs::Registry::new();
+        let summary = {
+            let _g = reg.install();
+            run_query_mix(&world, &igdb)
+        };
+        assert!(summary.physpath_reports > 0);
+        assert!(summary.footprint_rows > 0);
+        assert_eq!(reg.counter_value("serving.mix_runs", ""), 1);
+        // Every analysis entry point fired at least once.
+        for label in ["physpath", "intertubes", "rocketfuel", "risk", "footprint"] {
+            assert!(
+                reg.counter_value("analysis.queries", label) > 0,
+                "analysis.queries{{{label}}} never incremented"
+            );
+        }
+        // Latency histograms are perf-class: present in the full stream,
+        // absent from the deterministic one.
+        let full = reg.json_lines(igdb_obs::JsonMode::Full);
+        assert!(full.contains("analysis.query_us"));
+        let det = reg.json_lines(igdb_obs::JsonMode::Deterministic);
+        assert!(!det.contains("analysis.query_us"));
+    }
+}

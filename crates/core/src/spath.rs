@@ -72,6 +72,16 @@ pub enum SpMode {
     Ch,
 }
 
+impl SpMode {
+    /// Stable lowercase label used for metric labels and `IGDB_SP_MODE`.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpMode::Dijkstra => "dijkstra",
+            SpMode::Ch => "ch",
+        }
+    }
+}
+
 /// Nodes at or above this count select [`SpMode::Ch`] automatically when
 /// neither [`with_mode`] nor `IGDB_SP_MODE` says otherwise.
 pub const CH_AUTO_THRESHOLD: usize = 256;
@@ -435,6 +445,10 @@ impl ShortestPathEngine {
         to: usize,
     ) -> Option<(Vec<usize>, f64)> {
         igdb_obs::counter("spath.queries", "", 1);
+        // Latency is a perf-class histogram labeled by the resolved mode,
+        // so Dijkstra-vs-CH quantiles fall out of one registry without
+        // touching the deterministic counter stream.
+        let _t = igdb_obs::hist_timer("spath.query_us", self.resolved_mode().label());
         self.shortest_path_inner(ws, from, to)
     }
 
@@ -527,6 +541,7 @@ impl ShortestPathEngine {
     /// Total shortest-path weight `from → to` (no path reconstruction).
     pub fn distance_with(&self, ws: &mut SpWorkspace, from: usize, to: usize) -> Option<f64> {
         igdb_obs::counter("spath.queries", "", 1);
+        let _t = igdb_obs::hist_timer("spath.query_us", self.resolved_mode().label());
         self.distance_inner(ws, from, to)
     }
 
@@ -558,6 +573,9 @@ impl ShortestPathEngine {
         targets: &[usize],
     ) -> Vec<Option<f64>> {
         igdb_obs::counter("spath.queries", "", targets.len() as u64);
+        // One timer for the whole batch (not per target) so batched and
+        // point queries stay distinguishable in the latency tables.
+        let _t = igdb_obs::hist_timer("spath.batch_us", self.resolved_mode().label());
         targets.iter().map(|&to| self.distance_inner(ws, from, to)).collect()
     }
 

@@ -405,9 +405,11 @@ impl Hierarchy {
         let SpWorkspace { ch_fwd, ch_bwd, unpack, .. } = ws;
         if ch_fwd.prepare(self, engine.id, from) {
             igdb_obs::perf("ch.up_settled", "", ch_fwd.settled_list.len() as u64);
+            igdb_obs::observe("ch.settled_per_search", "up", ch_fwd.settled_list.len() as u64);
         }
         if ch_bwd.prepare(self, engine.id, to) {
             igdb_obs::perf("ch.down_settled", "", ch_bwd.settled_list.len() as u64);
+            igdb_obs::observe("ch.settled_per_search", "down", ch_bwd.settled_list.len() as u64);
         }
 
         // Meeting node: minimum combined key over nodes settled by both

@@ -25,7 +25,12 @@
 //! * **Sinks** — [`Registry::render_table`] (human) and
 //!   [`Registry::json_lines`] (machine, one JSON object per line), with
 //!   [`Registry::from_json_lines`] parsing the latter back so `igdb
-//!   metrics --in file.jsonl` can re-render a saved run.
+//!   metrics --in file.jsonl` can re-render a saved run. Histograms carry
+//!   p50/p90/p99 columns via [`Histogram::quantile`] (deterministic
+//!   within-bucket interpolation; derived fields, recomputed on re-emit).
+//! * **Profiles** ([`Registry::profile`]) — flame-style aggregation of the
+//!   span tree: per-span-name total/self time and call counts, plus the
+//!   critical root-to-leaf path (`igdb metrics --profile`).
 //!
 //! # Propagation
 //!
@@ -50,7 +55,7 @@
 
 use std::borrow::Cow;
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -89,7 +94,9 @@ impl Histogram {
 
     fn record(&mut self, v: u64) {
         self.count += 1;
-        self.sum += v;
+        // Saturate rather than wrap: a pegged sum keeps mean() an honest
+        // lower bound instead of a small garbage number.
+        self.sum = self.sum.saturating_add(v);
         self.min = self.min.min(v);
         self.max = self.max.max(v);
         self.buckets[Self::bucket_of(v)] += 1;
@@ -104,12 +111,69 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Mean of the recorded values; 0.0 on an empty histogram.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Inclusive value range a bucket covers: bucket 0 holds exactly 0,
+    /// bucket `i` holds `2^(i-1) ..= 2^i - 1`. The saturated top bucket's
+    /// upper bound is clamped to the observed `max` by [`quantile`].
+    ///
+    /// [`quantile`]: Self::quantile
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, 0.0)
+        } else {
+            let lo = (1u128 << (i - 1)) as f64;
+            let hi = ((1u128 << i) - 1) as f64;
+            (lo, hi)
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, clamped) of the recorded
+    /// distribution, estimated by deterministic linear interpolation:
+    /// the fractional rank `q * (count - 1)` is located in the bucket
+    /// cumulative counts place it in, then interpolated across that
+    /// bucket's value range (clamped to the observed `min`/`max`, which
+    /// also bounds the saturated top bucket). A pure function of
+    /// (`buckets`, `count`, `min`, `max`), so parsed-back histograms
+    /// report identical quantiles. Returns 0.0 on an empty histogram
+    /// (like [`mean`](Self::mean)).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (self.count - 1) as f64;
+        // The extreme ranks are known exactly — no interpolation error at
+        // the endpoints the regression gate cares most about.
+        if rank <= 0.0 {
+            return self.min as f64;
+        }
+        if rank >= (self.count - 1) as f64 {
+            return self.max as f64;
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            // Ranks `seen ..= seen + c - 1` fall in this bucket.
+            if rank < (seen + c) as f64 {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let lo = lo.max(self.min as f64);
+                let hi = hi.min(self.max as f64);
+                let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + frac * (hi - lo);
+            }
+            seen += c;
+        }
+        self.max as f64
     }
 
     /// Sparse `"bucket:count"` rendering (and JSON payload).
@@ -451,9 +515,12 @@ impl Registry {
             for (k, h) in hists {
                 let _ = writeln!(
                     out,
-                    "  {k:<44} count {:>8}  mean {:>10.1}  min {:>8}  max {:>8}",
+                    "  {k:<44} count {:>8}  mean {:>10.1}  p50 {:>10.1}  p90 {:>10.1}  p99 {:>10.1}  min {:>8}  max {:>8}",
                     h.count,
                     h.mean(),
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
                     if h.count == 0 { 0 } else { h.min },
                     h.max
                 );
@@ -510,15 +577,21 @@ impl Registry {
                     );
                 }
                 Metric::Hist(h) if mode == JsonMode::Full => {
+                    // p50/p90/p99 are derived from (buckets, count, min,
+                    // max); the parser ignores them and recomputes, so
+                    // round-trips stay byte-identical.
                     let _ = writeln!(
                         out,
-                        "{{\"type\":\"hist\",\"name\":\"{}\",\"label\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":\"{}\"}}",
+                        "{{\"type\":\"hist\",\"name\":\"{}\",\"label\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":\"{}\"}}",
                         esc(name),
                         esc(label),
                         h.count,
                         h.sum,
                         if h.count == 0 { 0 } else { h.min },
                         h.max,
+                        h.quantile(0.50),
+                        h.quantile(0.90),
+                        h.quantile(0.99),
                         h.buckets_compact()
                     );
                 }
@@ -619,12 +692,404 @@ impl Registry {
                             dur_us,
                         });
                     }
+                    // Profile lines are *derived* from the span lines by
+                    // [`Registry::profile`]; a parsed registry regenerates
+                    // them on demand, so streams that carry a profile
+                    // section still round-trip.
+                    "profile" | "critical_path" => {}
                     other => return Err(ctx(&format!("unknown line type '{other}'"))),
                 }
             }
         }
         Ok(reg)
     }
+
+    /// Aggregates the span tree into a [`Profile`] (per-name totals, self
+    /// time, call counts, critical path).
+    pub fn profile(&self) -> Profile {
+        Profile::from_spans(&self.spans())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span-tree profile
+// ---------------------------------------------------------------------------
+
+/// One aggregated row of a [`Profile`]: every span sharing `name`, summed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileRow {
+    pub name: Name,
+    /// How many spans carried this name.
+    pub calls: u64,
+    /// Summed wall time of those spans (children included).
+    pub total_us: u64,
+    /// Summed wall time *minus* time spent in child spans.
+    pub self_us: u64,
+}
+
+/// Flame-style aggregation over a recorded span tree: per-span-name total
+/// time, self time and call count, plus the **critical path** — the
+/// root-to-leaf chain obtained by starting at the longest root span and
+/// descending into the longest child at every step. Rows are sorted by
+/// total time (descending), name as the tie-breaker, so the rendering is
+/// deterministic for a given span list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Profile {
+    pub rows: Vec<ProfileRow>,
+    /// `(name, dur_us)` along the critical path, root first.
+    pub critical_path: Vec<(Name, u64)>,
+}
+
+impl Profile {
+    /// Builds the aggregation from a span list (open spans count as zero
+    /// duration; run [`Registry::check_span_nesting`] first if you need
+    /// them to be an error instead).
+    pub fn from_spans(spans: &[SpanRecord]) -> Profile {
+        let mut child_us = vec![0u64; spans.len()];
+        for s in spans {
+            if let (Some(p), Some(d)) = (s.parent, s.dur_us) {
+                child_us[p] += d;
+            }
+        }
+        let mut agg: BTreeMap<Name, (u64, u64, u64)> = BTreeMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            let d = s.dur_us.unwrap_or(0);
+            let e = agg.entry(s.name.clone()).or_default();
+            e.0 += 1;
+            e.1 += d;
+            // Nesting guarantees children fit inside their parent, but be
+            // defensive about clock granularity.
+            e.2 += d.saturating_sub(child_us[i]);
+        }
+        let mut rows: Vec<ProfileRow> = agg
+            .into_iter()
+            .map(|(name, (calls, total_us, self_us))| ProfileRow { name, calls, total_us, self_us })
+            .collect();
+        rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then_with(|| a.name.cmp(&b.name)));
+
+        // Critical path: longest root, then longest child, to a leaf.
+        // Strict `>` keeps the earliest span on ties — deterministic.
+        let heaviest = |parent: Option<usize>| -> Option<usize> {
+            let mut best: Option<usize> = None;
+            for (i, s) in spans.iter().enumerate() {
+                if s.parent == parent
+                    && best.is_none_or(|b: usize| {
+                        s.dur_us.unwrap_or(0) > spans[b].dur_us.unwrap_or(0)
+                    })
+                {
+                    best = Some(i);
+                }
+            }
+            best
+        };
+        let mut critical_path = Vec::new();
+        let mut cur = heaviest(None);
+        while let Some(i) = cur {
+            critical_path.push((spans[i].name.clone(), spans[i].dur_us.unwrap_or(0)));
+            cur = heaviest(Some(i));
+        }
+        Profile { rows, critical_path }
+    }
+
+    /// Total profiled wall time (the denominator for the percentage
+    /// column): the sum of self times, which equals the sum of root span
+    /// durations since every span's duration partitions into the self
+    /// times of its subtree.
+    fn root_total_us(&self) -> u64 {
+        self.rows.iter().map(|r| r.self_us).sum()
+    }
+
+    /// Human-readable flame-style table: one row per span name plus the
+    /// critical path chain.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "profile: (no spans)");
+            return out;
+        }
+        let denom = self.root_total_us().max(1) as f64;
+        let _ = writeln!(
+            out,
+            "profile:\n  {:<44} {:>6} {:>12} {:>12} {:>7}",
+            "span", "calls", "total ms", "self ms", "self%"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>6} {:>12.3} {:>12.3} {:>6.1}%",
+                r.name,
+                r.calls,
+                r.total_us as f64 / 1000.0,
+                r.self_us as f64 / 1000.0,
+                100.0 * r.self_us as f64 / denom
+            );
+        }
+        let _ = writeln!(out, "critical path:");
+        for (depth, (name, dur)) in self.critical_path.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {}{} {:.3} ms",
+                "  ".repeat(depth),
+                name,
+                *dur as f64 / 1000.0
+            );
+        }
+        out
+    }
+
+    /// JSON-lines section: one `profile` object per row, one
+    /// `critical_path` object per step. [`Registry::from_json_lines`]
+    /// skips these (they are derived from the span lines).
+    pub fn json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"profile\",\"name\":\"{}\",\"calls\":{},\"total_us\":{},\"self_us\":{}}}",
+                esc(&r.name),
+                r.calls,
+                r.total_us,
+                r.self_us
+            );
+        }
+        for (depth, (name, dur)) in self.critical_path.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"critical_path\",\"depth\":{depth},\"name\":\"{}\",\"dur_us\":{dur}}}",
+                esc(name)
+            );
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics diff (regression gate)
+// ---------------------------------------------------------------------------
+
+/// One divergence between a baseline and a current metric stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DiffRow {
+    /// Metric class: `counter`, `span`, `perf`, or `hist`.
+    pub class: &'static str,
+    /// `name{label}` key (or a span position for span divergences).
+    pub key: String,
+    /// Baseline-side value, `-` when absent.
+    pub baseline: String,
+    /// Current-side value, `-` when absent.
+    pub current: String,
+    /// What went wrong, e.g. `value changed` or `missing in current`.
+    pub note: String,
+}
+
+/// Result of [`diff_registries`]: empty means the streams agree under the
+/// gate's policy.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiffReport {
+    pub rows: Vec<DiffRow>,
+}
+
+impl DiffReport {
+    pub fn is_clean(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Per-metric delta table, one row per divergence.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "metrics diff: clean");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "metrics diff: {} divergence{}",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<44} {:>14} {:>14}  {}",
+            "class", "metric", "baseline", "current", "note"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<44} {:>14} {:>14}  {}",
+                r.class, r.key, r.baseline, r.current, r.note
+            );
+        }
+        out
+    }
+}
+
+fn diff_key(name: &Name, label: &Name) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{label}}}")
+    }
+}
+
+/// Compares a current metric stream against a baseline under the
+/// regression-gate policy:
+///
+/// - **counters** must match *exactly* — they are deterministic by
+///   contract, so any missing, extra, or changed counter is a divergence;
+/// - **spans** are compared structurally by `(depth, name)` sequence,
+///   ignoring timing — a [`JsonMode::Full`] current stream can be gated
+///   against a committed [`JsonMode::Deterministic`] baseline;
+/// - **perf counters and histograms** are scheduling-dependent and ignored
+///   unless `perf_tolerance` (a percentage) is given, in which case perf
+///   values and histogram counts/means must stay within the relative band
+///   and every perf/hist key must exist on both sides.
+pub fn diff_registries(
+    baseline: &Registry,
+    current: &Registry,
+    perf_tolerance: Option<f64>,
+) -> DiffReport {
+    let mut rows = Vec::new();
+    let base = baseline.inner.metrics.lock().unwrap().clone();
+    let cur = current.inner.metrics.lock().unwrap().clone();
+
+    let keys: BTreeSet<&(Name, Name)> = base.keys().chain(cur.keys()).collect();
+    for k in keys {
+        let key = diff_key(&k.0, &k.1);
+        match (base.get(k), cur.get(k)) {
+            (Some(Metric::Counter(b)), Some(Metric::Counter(c))) => {
+                if b != c {
+                    rows.push(DiffRow {
+                        class: "counter",
+                        key,
+                        baseline: b.to_string(),
+                        current: c.to_string(),
+                        note: format!("value changed ({:+})", *c as i128 - *b as i128),
+                    });
+                }
+            }
+            (Some(Metric::Counter(b)), None) => rows.push(DiffRow {
+                class: "counter",
+                key,
+                baseline: b.to_string(),
+                current: "-".into(),
+                note: "missing in current".into(),
+            }),
+            (None, Some(Metric::Counter(c))) => rows.push(DiffRow {
+                class: "counter",
+                key,
+                baseline: "-".into(),
+                current: c.to_string(),
+                note: "not in baseline".into(),
+            }),
+            (Some(Metric::Counter(b)), Some(other)) => rows.push(DiffRow {
+                class: "counter",
+                key,
+                baseline: b.to_string(),
+                current: other.kind().into(),
+                note: "metric class changed".into(),
+            }),
+            (Some(other), Some(Metric::Counter(c))) => rows.push(DiffRow {
+                class: "counter",
+                key,
+                baseline: other.kind().into(),
+                current: c.to_string(),
+                note: "metric class changed".into(),
+            }),
+            // Perf/hist handled below only when a tolerance is given.
+            _ => {}
+        }
+    }
+
+    if let Some(pct) = perf_tolerance {
+        let within = |b: f64, c: f64| {
+            let denom = b.abs().max(1.0);
+            100.0 * (c - b).abs() / denom <= pct
+        };
+        for k in base.keys().chain(cur.keys()).collect::<BTreeSet<_>>() {
+            let key = diff_key(&k.0, &k.1);
+            match (base.get(k), cur.get(k)) {
+                (Some(Metric::Perf(b)), Some(Metric::Perf(c))) => {
+                    if !within(*b as f64, *c as f64) {
+                        rows.push(DiffRow {
+                            class: "perf",
+                            key,
+                            baseline: b.to_string(),
+                            current: c.to_string(),
+                            note: format!("outside ±{pct}% band"),
+                        });
+                    }
+                }
+                (Some(Metric::Hist(b)), Some(Metric::Hist(c))) => {
+                    if !within(b.count as f64, c.count as f64) {
+                        rows.push(DiffRow {
+                            class: "hist",
+                            key,
+                            baseline: format!("count {}", b.count),
+                            current: format!("count {}", c.count),
+                            note: format!("count outside ±{pct}% band"),
+                        });
+                    } else if !within(b.mean(), c.mean()) {
+                        rows.push(DiffRow {
+                            class: "hist",
+                            key,
+                            baseline: format!("mean {:.1}", b.mean()),
+                            current: format!("mean {:.1}", c.mean()),
+                            note: format!("mean outside ±{pct}% band"),
+                        });
+                    }
+                }
+                (Some(m @ (Metric::Perf(_) | Metric::Hist(_))), None) => rows.push(DiffRow {
+                    class: if matches!(m, Metric::Perf(_)) { "perf" } else { "hist" },
+                    key,
+                    baseline: "present".into(),
+                    current: "-".into(),
+                    note: "missing in current".into(),
+                }),
+                (None, Some(m @ (Metric::Perf(_) | Metric::Hist(_)))) => rows.push(DiffRow {
+                    class: if matches!(m, Metric::Perf(_)) { "perf" } else { "hist" },
+                    key,
+                    baseline: "-".into(),
+                    current: "present".into(),
+                    note: "not in baseline".into(),
+                }),
+                _ => {}
+            }
+        }
+    }
+
+    // Span shape: (depth, name) sequence, timing ignored. One row per
+    // structural divergence keeps the table bounded on length mismatches.
+    let shape = |r: &Registry| -> Vec<(usize, Name)> {
+        r.spans().into_iter().map(|s| (s.depth, s.name)).collect()
+    };
+    let (bs, cs) = (shape(baseline), shape(current));
+    if bs != cs {
+        let fmt = |s: Option<&(usize, Name)>| match s {
+            Some((d, n)) => format!("{n}@{d}"),
+            None => "-".into(),
+        };
+        let first = bs.iter().zip(&cs).position(|(a, b)| a != b).unwrap_or(bs.len().min(cs.len()));
+        rows.push(DiffRow {
+            class: "span",
+            key: format!("span tree (index {first})"),
+            baseline: fmt(bs.get(first)),
+            current: fmt(cs.get(first)),
+            note: format!("span shape diverged ({} vs {} spans)", bs.len(), cs.len()),
+        });
+    }
+
+    // Deterministic ordering: counters, then perf/hist, then spans, each
+    // already produced in BTreeSet key order.
+    rows.sort_by(|a, b| {
+        let rank = |c: &str| match c {
+            "counter" => 0,
+            "perf" => 1,
+            "hist" => 2,
+            _ => 3,
+        };
+        rank(a.class).cmp(&rank(b.class)).then_with(|| a.key.cmp(&b.key))
+    });
+    DiffReport { rows }
 }
 
 /// Which metric classes [`Registry::json_lines`] emits.
@@ -707,6 +1172,32 @@ pub fn span(name: impl Into<Name>) -> Span {
     match current() {
         Some(r) => r.span(name),
         None => Span { reg: None },
+    }
+}
+
+/// RAII latency probe from [`hist_timer`]: records the elapsed
+/// microseconds into a histogram on drop. Inert (and clock-free) when no
+/// registry was current at construction, so un-instrumented hot paths pay
+/// one thread-local read and nothing else.
+pub struct HistTimer {
+    armed: Option<(Registry, Name, Name, Instant)>,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        if let Some((reg, name, label, t0)) = self.armed.take() {
+            reg.observe(name, label, t0.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+/// Starts timing one operation into histogram `name{label}` on the current
+/// registry. Unlike [`span`], this is safe inside parallel workers: a
+/// histogram observation is commutative, where spans must stay serial
+/// (determinism rule 2).
+pub fn hist_timer(name: impl Into<Name>, label: impl Into<Name>) -> HistTimer {
+    HistTimer {
+        armed: current().map(|r| (r, name.into(), label.into(), Instant::now())),
     }
 }
 
@@ -913,6 +1404,244 @@ mod tests {
         assert_eq!((h.count, h.sum, h.min, h.max), (5, 907, 0, 900));
         assert_eq!(h.buckets()[2], 2);
         assert_eq!(h.buckets_compact(), "0:1 1:1 2:2 10:1");
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero_like_mean() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_min_to_max() {
+        // All values land in bucket 10 (512..=1023).
+        let reg = Registry::new();
+        for v in [600, 700, 800, 900] {
+            reg.observe("h", "", v);
+        }
+        let h = reg.histogram("h", "").unwrap();
+        assert_eq!(h.quantile(0.0), 600.0);
+        assert_eq!(h.quantile(1.0), 900.0);
+        let p50 = h.quantile(0.5);
+        assert!((600.0..=900.0).contains(&p50), "p50 {p50}");
+        // One recorded value: every quantile is that value.
+        let reg = Registry::new();
+        reg.observe("one", "", 42);
+        let h = reg.histogram("one", "").unwrap();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn quantile_saturated_bucket_clamps_to_observed_max() {
+        let reg = Registry::new();
+        reg.observe("h", "", u64::MAX);
+        reg.observe("h", "", u64::MAX - 7);
+        let h = reg.histogram("h", "").unwrap();
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(h.buckets()[BUCKETS - 1], 2);
+        assert_eq!(h.quantile(1.0), u64::MAX as f64);
+        assert!(h.quantile(0.0) >= (u64::MAX - 7) as f64);
+    }
+
+    #[test]
+    fn quantile_zero_values_stay_in_bucket_zero() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        let reg = Registry::new();
+        for _ in 0..5 {
+            reg.observe("h", "", 0);
+        }
+        reg.observe("h", "", 1000);
+        let h = reg.histogram("h", "").unwrap();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let reg = Registry::new();
+        for v in [0, 1, 2, 5, 9, 33, 70, 1500, 1501, 90000] {
+            reg.observe("h", "", v);
+        }
+        let h = reg.histogram("h", "").unwrap();
+        let qs: Vec<f64> = (0..=10).map(|i| h.quantile(i as f64 / 10.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+        }
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 90000.0);
+    }
+
+    #[test]
+    fn hist_timer_records_and_is_inert_without_registry() {
+        drop(hist_timer("lat", "none")); // no registry: nothing to assert, must not panic
+        let reg = Registry::new();
+        {
+            let _g = reg.install();
+            let _t = hist_timer("lat", "op");
+        }
+        assert_eq!(reg.histogram("lat", "op").unwrap().count, 1);
+    }
+
+    #[test]
+    fn profile_aggregates_totals_self_and_critical_path() {
+        let spans = vec![
+            SpanRecord { name: "root".into(), parent: None, depth: 0, start_us: 0, dur_us: Some(100) },
+            SpanRecord { name: "a".into(), parent: Some(0), depth: 1, start_us: 5, dur_us: Some(60) },
+            SpanRecord { name: "leaf".into(), parent: Some(1), depth: 2, start_us: 10, dur_us: Some(40) },
+            SpanRecord { name: "a".into(), parent: Some(0), depth: 1, start_us: 70, dur_us: Some(20) },
+        ];
+        let p = Profile::from_spans(&spans);
+        let row = |n: &str| p.rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!((row("root").calls, row("root").total_us, row("root").self_us), (1, 100, 20));
+        assert_eq!((row("a").calls, row("a").total_us, row("a").self_us), (2, 80, 40));
+        assert_eq!((row("leaf").calls, row("leaf").total_us, row("leaf").self_us), (1, 40, 40));
+        // Rows sorted by total desc: root, a, leaf.
+        let order: Vec<&str> = p.rows.iter().map(|r| r.name.as_ref()).collect();
+        assert_eq!(order, vec!["root", "a", "leaf"]);
+        // Critical path descends into the *longest* "a" (60us), then leaf.
+        let path: Vec<(&str, u64)> = p.critical_path.iter().map(|(n, d)| (n.as_ref(), *d)).collect();
+        assert_eq!(path, vec![("root", 100), ("a", 60), ("leaf", 40)]);
+        let table = p.render_table();
+        for needle in ["profile:", "critical path:", "root", "self%"] {
+            assert!(table.contains(needle), "missing {needle} in:\n{table}");
+        }
+        // Profile JSONL parses back as a no-op section.
+        let doc = p.json_lines();
+        assert!(doc.contains("\"type\":\"profile\""));
+        assert!(doc.contains("\"type\":\"critical_path\""));
+        Registry::from_json_lines(&doc).unwrap();
+    }
+
+    #[test]
+    fn profile_of_empty_registry_renders() {
+        let p = Registry::new().profile();
+        assert!(p.rows.is_empty() && p.critical_path.is_empty());
+        assert!(p.render_table().contains("no spans"));
+        assert!(p.json_lines().is_empty());
+    }
+
+    #[test]
+    fn deterministic_roundtrip_is_byte_identical() {
+        let reg = Registry::new();
+        reg.counter_add("ingest.rows_in", "atlas_nodes", 400);
+        reg.perf_add("par.tasks", "worker1", 37); // filtered out
+        reg.observe("lat", "", 9); // filtered out
+        {
+            let _root = reg.span("pipeline");
+            let _child = reg.span("validate");
+        }
+        let doc = reg.json_lines(JsonMode::Deterministic);
+        let back = Registry::from_json_lines(&doc).unwrap();
+        assert_eq!(back.json_lines(JsonMode::Deterministic), doc);
+    }
+
+    #[test]
+    fn full_roundtrip_preserves_quantile_fields() {
+        let reg = Registry::new();
+        for v in [3, 3, 900, 0, 12_000] {
+            reg.observe("spath.query_us", "ch", v);
+        }
+        let doc = reg.json_lines(JsonMode::Full);
+        assert!(doc.contains("\"p50\":"), "{doc}");
+        let back = Registry::from_json_lines(&doc).unwrap();
+        let (h0, h1) = (
+            reg.histogram("spath.query_us", "ch").unwrap(),
+            back.histogram("spath.query_us", "ch").unwrap(),
+        );
+        assert_eq!(h0, h1);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(h0.quantile(q), h1.quantile(q), "q={q}");
+        }
+        assert_eq!(back.json_lines(JsonMode::Full), doc);
+    }
+
+    #[test]
+    fn diff_is_clean_on_identical_streams_and_flags_perturbations() {
+        let mk = || {
+            let reg = Registry::new();
+            reg.counter_add("spath.queries", "", 100);
+            reg.counter_add("analysis.queries", "risk", 2);
+            reg.perf_add("par.tasks", "", 9);
+            {
+                let _root = reg.span("serving.query_mix");
+                let _child = reg.span("analysis.risk");
+            }
+            reg
+        };
+        let base = mk();
+        assert!(diff_registries(&base, &mk(), None).is_clean());
+
+        // A perturbed counter diverges with a delta row; perf stays out of
+        // scope without a tolerance.
+        let cur = mk();
+        cur.counter_add("spath.queries", "", 1);
+        cur.perf_add("par.tasks", "", 1000);
+        let report = diff_registries(&base, &cur, None);
+        assert_eq!(report.rows.len(), 1, "{report:?}");
+        assert_eq!(report.rows[0].class, "counter");
+        assert!(report.render_table().contains("spath.queries"));
+        assert!(report.render_table().contains("value changed"));
+
+        // Missing and extra counters both diverge.
+        let cur = mk();
+        cur.counter_add("analysis.queries", "footprint", 1);
+        let report = diff_registries(&base, &cur, None);
+        assert_eq!(report.rows.len(), 1);
+        assert!(report.rows[0].note.contains("not in baseline"));
+    }
+
+    #[test]
+    fn diff_perf_tolerance_band() {
+        let mk = |tasks: u64| {
+            let reg = Registry::new();
+            reg.counter_add("spath.queries", "", 5);
+            reg.perf_add("par.tasks", "", tasks);
+            reg
+        };
+        let base = mk(100);
+        // 5% off passes a 10% band, fails a 2% band.
+        assert!(diff_registries(&base, &mk(105), Some(10.0)).is_clean());
+        let report = diff_registries(&base, &mk(105), Some(2.0));
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].class, "perf");
+        // Histograms gate on count within the band.
+        base.observe("lat", "", 7);
+        let cur = mk(100);
+        assert!(!diff_registries(&base, &cur, Some(10.0)).is_clean());
+        cur.observe("lat", "", 7);
+        assert!(diff_registries(&base, &cur, Some(10.0)).is_clean());
+    }
+
+    #[test]
+    fn diff_compares_span_shape_not_timing() {
+        let mk = |extra: bool| {
+            let reg = Registry::new();
+            {
+                let _root = reg.span("pipeline");
+                let _child = reg.span("validate");
+            }
+            if extra {
+                let _tail = reg.span("extra");
+            }
+            reg
+        };
+        // A Full current stream gates cleanly against a Deterministic
+        // baseline of the same run: timings differ, shape does not.
+        let run = mk(false);
+        let base =
+            Registry::from_json_lines(&run.json_lines(JsonMode::Deterministic)).unwrap();
+        let cur = Registry::from_json_lines(&run.json_lines(JsonMode::Full)).unwrap();
+        assert!(diff_registries(&base, &cur, None).is_clean());
+
+        let report = diff_registries(&base, &mk(true), None);
+        assert_eq!(report.rows.len(), 1, "{report:?}");
+        assert_eq!(report.rows[0].class, "span");
+        assert!(report.rows[0].note.contains("span shape diverged"));
     }
 
     #[test]

@@ -142,6 +142,97 @@ fn export_writes_geojson() {
 }
 
 #[test]
+fn metrics_rejects_malformed_jsonl_with_line_number() {
+    let dir = tempdir("badjsonl");
+    let bad = dir.join("broken.jsonl");
+    std::fs::write(
+        &bad,
+        "{\"type\":\"counter\",\"name\":\"ok\",\"label\":\"\",\"value\":1}\n\
+         {\"type\":\"wombat\",\"name\":\"x\"}\n",
+    )
+    .unwrap();
+    let out = igdb().args(["metrics", "--in"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("malformed metrics file")
+            && stderr.contains("line 2")
+            && stderr.contains("broken.jsonl"),
+        "stderr should carry the path and offending line:\n{stderr}"
+    );
+}
+
+/// Writes a small handcrafted metric stream for the diff-gate tests.
+fn write_stream(path: &std::path::Path, spath_queries: u64, par_tasks: u64) {
+    std::fs::write(
+        path,
+        format!(
+            "{{\"type\":\"counter\",\"name\":\"spath.queries\",\"label\":\"\",\"value\":{spath_queries}}}\n\
+             {{\"type\":\"perf\",\"name\":\"par.tasks\",\"label\":\"\",\"value\":{par_tasks}}}\n\
+             {{\"type\":\"span\",\"name\":\"serving.query_mix\",\"parent\":null,\"depth\":0,\"start_us\":0,\"dur_us\":0}}\n"
+        ),
+    )
+    .unwrap();
+}
+
+#[test]
+fn metrics_diff_gates_counters_exactly_and_perf_by_tolerance() {
+    let dir = tempdir("diffgate");
+    let base = dir.join("base.jsonl");
+    let same = dir.join("same.jsonl");
+    let drifted = dir.join("drifted.jsonl");
+    write_stream(&base, 100, 40);
+    write_stream(&same, 100, 47); // perf drift only
+    write_stream(&drifted, 101, 40); // counter perturbed
+
+    // Identical counters (perf ignored without a tolerance): exit 0.
+    let out = igdb().arg("metrics").arg("diff").arg(&base).arg(&same).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // A perturbed counter: exit 2 with a per-metric delta table.
+    let out = igdb().arg("metrics").arg("diff").arg(&base).arg(&drifted).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        table.contains("spath.queries") && table.contains("100") && table.contains("101"),
+        "delta table should name the counter and both values:\n{table}"
+    );
+    assert!(table.contains("value changed"), "{table}");
+
+    // Perf drift of 17.5%: inside a 20% band, outside a 5% band.
+    let args = |tol: &str| {
+        igdb()
+            .arg("metrics")
+            .arg("diff")
+            .arg(&base)
+            .arg(&same)
+            .args(["--perf-tolerance", tol])
+            .output()
+            .unwrap()
+    };
+    assert!(args("20").status.success());
+    let out = args("5");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("par.tasks"));
+
+    // Wrong operand count is a usage error (exit 1), not a divergence.
+    let out = igdb().arg("metrics").arg("diff").arg(&base).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly two files"));
+}
+
+#[test]
+fn usage_documents_profile_and_diff() {
+    let out = igdb().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    let usage = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--profile", "metrics diff", "--perf-tolerance", "queries"] {
+        assert!(usage.contains(needle), "usage missing {needle}:\n{usage}");
+    }
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = igdb().arg("frobnicate").output().unwrap();
     assert!(!out.status.success());

@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 use igdb_core::igdb_obs::{JsonMode, Registry};
-use igdb_core::{BuildPolicy, Igdb, SourceId};
+use igdb_core::{run_query_mix, with_mode, BuildPolicy, Igdb, SourceId, SpMode};
 use igdb_synth::faults::FaultClass;
 use igdb_synth::sources::SnapshotSet;
 use igdb_synth::{emit_snapshots, inject_faults, World, WorldConfig};
@@ -205,6 +205,106 @@ fn deterministic_json_lines_match_golden() {
     // Round-trips through the parser.
     let back = Registry::from_json_lines(&got).unwrap();
     assert_eq!(back.counter_snapshot(), reg.counter_snapshot());
+}
+
+// ---------------------------------------------------------------------------
+// Serving telemetry: query mix, quantiles, profile, regression gate
+// ---------------------------------------------------------------------------
+
+/// Builds a fresh database (cold corridor caches) and serves the fixed
+/// query mix under the given worker count and shortest-path mode,
+/// returning the serving registry. The build runs outside the registry so
+/// the stream holds serving telemetry only.
+fn serve_mix(world: &World, threads: usize, mode: SpMode) -> Registry {
+    let snaps = emit_snapshots(world, "2022-05-03", 100);
+    let igdb = Igdb::build(&snaps);
+    let reg = Registry::new();
+    with_mode(mode, || {
+        igdb_par::with_threads(threads, || {
+            let _g = reg.install();
+            run_query_mix(world, &igdb);
+        })
+    });
+    reg
+}
+
+#[test]
+fn serving_counters_invariant_across_workers_and_sp_modes() {
+    let world = World::generate(WorldConfig::tiny());
+    let baseline = serve_mix(&world, 1, SpMode::Dijkstra).json_lines(JsonMode::Deterministic);
+    // The stream actually carries the new serving counters.
+    for needle in ["serving.mix_runs", "analysis.queries", "spath.queries"] {
+        assert!(baseline.contains(needle), "missing {needle} in:\n{baseline}");
+    }
+    for (threads, mode) in
+        [(4, SpMode::Dijkstra), (1, SpMode::Ch), (4, SpMode::Ch)]
+    {
+        let got = serve_mix(&world, threads, mode).json_lines(JsonMode::Deterministic);
+        assert_eq!(
+            baseline, got,
+            "serving counter stream diverged at {threads} workers, {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn serving_stream_matches_golden() {
+    let golden_path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/serving.jsonl"
+    ));
+    let world = World::generate(WorldConfig::tiny());
+    let got = serve_mix(&world, 2, SpMode::Ch).json_lines(JsonMode::Deterministic);
+    if std::env::var_os("IGDB_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &got).unwrap();
+        eprintln!("blessed {}", golden_path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("{}: {e} (run with IGDB_BLESS=1 to create)", golden_path.display())
+    });
+    assert_eq!(
+        got, want,
+        "deterministic serving stream drifted from tests/golden/serving.jsonl \
+         (if intentional, re-bless with IGDB_BLESS=1)"
+    );
+    // The committed baseline also gates cleanly against itself through the
+    // diff the CI metrics-gate job runs.
+    let base = Registry::from_json_lines(&want).unwrap();
+    let cur = Registry::from_json_lines(&got).unwrap();
+    assert!(igdb_core::igdb_obs::diff_registries(&base, &cur, None).is_clean());
+}
+
+#[test]
+fn serving_quantiles_and_profile_are_coherent() {
+    let world = World::generate(WorldConfig::tiny());
+    let reg = serve_mix(&world, 2, SpMode::Ch);
+
+    // The per-trace latency histogram exists, with monotone quantiles
+    // bounded by the observed extremes.
+    let h = reg
+        .histogram("analysis.query_us", "physpath")
+        .expect("physpath latency histogram recorded");
+    assert!(h.count > 10, "too few physpath queries: {}", h.count);
+    let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+    assert!(p50 <= p90 && p90 <= p99, "quantiles not monotone: {p50} {p90} {p99}");
+    assert!(h.quantile(0.0) <= p50 && p99 <= h.quantile(1.0));
+
+    // The profile aggregates the serving span tree: the mix root carries
+    // every analysis span, and the critical path starts at the root.
+    let profile = reg.profile();
+    let names: Vec<&str> = profile.rows.iter().map(|r| r.name.as_ref()).collect();
+    for expected in ["serving.query_mix", "analysis.intertubes", "analysis.rocketfuel"] {
+        assert!(names.contains(&expected), "missing profile row '{expected}' in {names:?}");
+    }
+    let root = profile.rows.iter().find(|r| r.name == "serving.query_mix").unwrap();
+    assert_eq!(root.calls, 1);
+    assert!(root.self_us <= root.total_us);
+    assert_eq!(profile.critical_path.first().map(|(n, _)| n.as_ref()), Some("serving.query_mix"));
+    // The rendered forms carry the new columns/sections.
+    assert!(reg.render_table().contains("p99"));
+    assert!(profile.render_table().contains("critical path:"));
 }
 
 // ---------------------------------------------------------------------------
