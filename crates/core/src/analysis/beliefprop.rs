@@ -58,79 +58,277 @@ pub struct BeliefPropReport {
     pub ases_gaining_first_location: usize,
 }
 
+/// Address marker for "not located".
+const UNLOCATED: u32 = u32::MAX;
+
+/// The round-invariant structure of the propagation, built once per call:
+/// every qualifying adjacent-responding-hop pair occurrence (as indices
+/// into an interned address table) plus a CSR incidence index from each
+/// address to the pairs it participates in.
+///
+/// All pair-qualification filters (TTL gap, differential latency, probe
+/// RTT, anycast) depend only on the traces and `ip_info`, never on the
+/// evolving located set — so the round loop reduces to scanning an *active*
+/// subset of this list against the current location array.
+struct PairIndex {
+    /// Interned addresses, in deterministic first-seen (trace) order.
+    addrs: Vec<Ip4>,
+    /// Qualifying pair occurrences as `(addr_idx, addr_idx)`; duplicates
+    /// preserved (each occurrence is one vote).
+    pairs: Vec<(u32, u32)>,
+    /// CSR incidence: pair ids incident to address `i` live in
+    /// `inc_pairs[inc_off[i]..inc_off[i + 1]]`.
+    inc_off: Vec<u32>,
+    inc_pairs: Vec<u32>,
+    /// Per-address: may this address ever receive a vote? (`!anycast`; a
+    /// seed-located address is additionally excluded via the location
+    /// array.)
+    can_receive: Vec<bool>,
+    /// Per-address seed metro (or [`UNLOCATED`]).
+    seed_loc: Vec<u32>,
+}
+
+impl PairIndex {
+    fn build(igdb: &Igdb, params: &BeliefPropParams) -> PairIndex {
+        // Raw qualifying pairs per trace, extracted in parallel with an
+        // in-order merge (chunk order == trace order), so the pair list is
+        // identical at any worker count.
+        let raw: Vec<Vec<(Ip4, Ip4)>> = igdb_par::par_chunks(&igdb.traces, |_, chunk| {
+            let mut out: Vec<(Ip4, Ip4)> = Vec::new();
+            for tr in chunk {
+                // Only TTL-adjacent responding pairs qualify: a gap (star
+                // or hidden hop) means the two addresses need not be
+                // colocated.
+                let mut prev: Option<(Ip4, f64, u8)> = None;
+                for h in &tr.hops {
+                    let Some(ip) = h.ip else { continue };
+                    let cur = (ip, h.rtt_ms, h.ttl);
+                    if let Some((ip_a, rtt_a, ttl_a)) = prev {
+                        let (ip_b, rtt_b, ttl_b) = cur;
+                        // Adjacent, or separated by a single silent hop —
+                        // the differential-latency bound still pins them to
+                        // one metro, but the gapped form needs a tighter
+                        // bound (the hidden router adds its own processing
+                        // delay).
+                        let gap = ttl_b.saturating_sub(ttl_a);
+                        let diff = (rtt_a - rtt_b).abs();
+                        if !(gap > 2 || (gap == 2 && diff >= params.metro_threshold_ms / 2.0))
+                            && diff < params.metro_threshold_ms
+                            && rtt_a < params.probe_rtt_max_ms
+                            && rtt_b < params.probe_rtt_max_ms
+                        {
+                            out.push((ip_a, ip_b));
+                        }
+                    }
+                    prev = Some(cur);
+                }
+            }
+            out
+        });
+
+        // Serial interning pass in trace order.
+        let mut index_of: HashMap<Ip4, u32> = HashMap::new();
+        let mut addrs: Vec<Ip4> = Vec::new();
+        let mut can_receive: Vec<bool> = Vec::new();
+        let mut seed_loc: Vec<u32> = Vec::new();
+        let intern = |ip: Ip4,
+                          index_of: &mut HashMap<Ip4, u32>,
+                          addrs: &mut Vec<Ip4>,
+                          can_receive: &mut Vec<bool>,
+                          seed_loc: &mut Vec<u32>| {
+            *index_of.entry(ip).or_insert_with(|| {
+                let info = igdb.ip_info.get(&ip);
+                addrs.push(ip);
+                // Anycast addresses have no single location to infer (§5).
+                can_receive.push(!info.map(|i| i.anycast).unwrap_or(false));
+                seed_loc.push(
+                    info.and_then(|i| i.metro)
+                        .map(|m| m as u32)
+                        .unwrap_or(UNLOCATED),
+                );
+                (addrs.len() - 1) as u32
+            })
+        };
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        for (ip_a, ip_b) in raw.into_iter().flatten() {
+            let ia = intern(ip_a, &mut index_of, &mut addrs, &mut can_receive, &mut seed_loc);
+            let ib = intern(ip_b, &mut index_of, &mut addrs, &mut can_receive, &mut seed_loc);
+            // A pair neither of whose endpoints can ever be voted for
+            // (both anycast or both seeded) never contributes; drop it so
+            // the round scans stay tight.
+            let a_recv = can_receive[ia as usize] && seed_loc[ia as usize] == UNLOCATED;
+            let b_recv = can_receive[ib as usize] && seed_loc[ib as usize] == UNLOCATED;
+            if a_recv || b_recv {
+                pairs.push((ia, ib));
+            }
+        }
+
+        // CSR incidence (counting sort over endpoint addresses).
+        let n = addrs.len();
+        let mut counts = vec![0u32; n + 1];
+        for &(a, b) in &pairs {
+            counts[a as usize + 1] += 1;
+            if b != a {
+                counts[b as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let inc_off = counts.clone();
+        let mut cursor = counts;
+        let mut inc_pairs = vec![0u32; inc_off[n] as usize];
+        for (pid, &(a, b)) in pairs.iter().enumerate() {
+            inc_pairs[cursor[a as usize] as usize] = pid as u32;
+            cursor[a as usize] += 1;
+            if b != a {
+                inc_pairs[cursor[b as usize] as usize] = pid as u32;
+                cursor[b as usize] += 1;
+            }
+        }
+
+        PairIndex {
+            addrs,
+            pairs,
+            inc_off,
+            inc_pairs,
+            can_receive,
+            seed_loc,
+        }
+    }
+}
+
 /// Runs the belief propagation. Does not mutate `igdb`; call
 /// [`apply_inferences`] to push the tuples into `asn_loc`.
+///
+/// # Algorithm (output-identical to the per-round rescan)
+///
+/// The original formulation rescans every trace each round and rebuilds
+/// the vote map from scratch against the current located set. Because the
+/// located set only grows, round `r`'s vote count for an unlocated address
+/// equals the number of qualifying pair occurrences whose partner is
+/// located at the start of round `r` — so votes can be accumulated
+/// *incrementally*: scan all pairs once against the seeds, then each later
+/// round revisit only pairs incident to addresses located in the previous
+/// round (the frontier), adding each occurrence's vote exactly when its
+/// partner becomes located. Tallies persist across rounds in
+/// capacity-retaining buffers; an address whose tally did not change since
+/// a failed majority check would fail it again, so only touched addresses
+/// are rechecked. Vote counting fans out over `igdb_par::par_chunks` with
+/// a serial in-order merge and commits walk addresses in ascending interned
+/// order, so the result is byte-identical at any worker count.
 pub fn propagate(igdb: &Igdb, params: &BeliefPropParams) -> BeliefPropReport {
     let _span = igdb_obs::span("analysis.beliefprop");
-    // Seed locations.
-    let mut located: HashMap<Ip4, usize> = igdb
-        .ip_info
-        .iter()
-        .filter_map(|(&ip, info)| Some((ip, info.metro?)))
-        .collect();
+    let idx = {
+        let _s = igdb_obs::span("analysis.beliefprop.pair_index");
+        PairIndex::build(igdb, params)
+    };
+    let n = idx.addrs.len();
+
+    // Current location per interned address (seeds to start).
+    let mut loc: Vec<u32> = idx.seed_loc.clone();
+    // Persistent vote tallies: per-address sorted-by-metro (metro, count)
+    // pairs. Small per address, so a sorted vec beats a map.
+    let mut tally: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    // Round-scoped scratch, cleared (capacity retained) between rounds.
+    let mut touched: Vec<bool> = vec![false; n];
+    let mut dirty: Vec<u32> = Vec::new();
+    let mut frontier_pairs: Vec<u32> = Vec::new();
+
     let mut assignments: HashMap<Ip4, usize> = HashMap::new();
     let mut located_per_round = Vec::new();
 
-    for _ in 0..params.max_iterations {
-        // Votes: unlocated address → metro → count.
-        let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
-        for tr in &igdb.traces {
-            // Only TTL-adjacent responding pairs qualify: a gap (star or
-            // hidden hop) means the two addresses need not be colocated.
-            let hops: Vec<(Ip4, f64, u8)> = tr
-                .hops
-                .iter()
-                .filter_map(|h| h.ip.map(|ip| (ip, h.rtt_ms, h.ttl)))
-                .collect();
-            for w in hops.windows(2) {
-                let ((ip_a, rtt_a, ttl_a), (ip_b, rtt_b, ttl_b)) = (w[0], w[1]);
-                // Adjacent, or separated by a single silent hop — the
-                // differential-latency bound still pins them to one metro,
-                // but the gapped form needs a tighter bound (the hidden
-                // router adds its own processing delay).
-                let gap = ttl_b.saturating_sub(ttl_a);
-                if gap > 2 || (gap == 2 && (rtt_a - rtt_b).abs() >= params.metro_threshold_ms / 2.0)
-                {
-                    continue;
-                }
-                if (rtt_a - rtt_b).abs() >= params.metro_threshold_ms {
-                    continue;
-                }
-                if rtt_a >= params.probe_rtt_max_ms || rtt_b >= params.probe_rtt_max_ms {
-                    continue;
-                }
-                // Anycast addresses have no single location to infer (§5).
-                let is_anycast =
-                    |ip: &Ip4| igdb.ip_info.get(ip).map(|i| i.anycast).unwrap_or(false);
-                match (located.get(&ip_a).copied(), located.get(&ip_b).copied()) {
-                    (None, Some(m)) if !is_anycast(&ip_a) => {
-                        *votes.entry(ip_a).or_default().entry(m).or_default() += 1;
+    for round in 0..params.max_iterations {
+        let _t = igdb_obs::hist_timer("beliefprop.round_us", "");
+        // Round 0 scans every pair against the seeds; later rounds only
+        // the pairs incident to the previous round's commits.
+        let active: &[u32] = if round == 0 {
+            frontier_pairs = (0..idx.pairs.len() as u32).collect();
+            &frontier_pairs
+        } else {
+            &frontier_pairs
+        };
+        igdb_obs::counter("beliefprop.pairs_scanned", "", active.len() as u64);
+
+        // Parallel vote collection: each chunk emits (address, metro)
+        // votes; counts are additive, and the serial merge below walks
+        // chunks in order, so tallies are worker-count invariant.
+        let votes: Vec<Vec<(u32, u32)>> = {
+            let loc = &loc;
+            igdb_par::par_chunks(active, |_, chunk| {
+                let mut out: Vec<(u32, u32)> = Vec::new();
+                for &pid in chunk {
+                    let (a, b) = idx.pairs[pid as usize];
+                    let (la, lb) = (loc[a as usize], loc[b as usize]);
+                    if la != UNLOCATED && lb == UNLOCATED && idx.can_receive[b as usize] {
+                        out.push((b, la));
+                    } else if lb != UNLOCATED && la == UNLOCATED && idx.can_receive[a as usize] {
+                        out.push((a, lb));
                     }
-                    (Some(m), None) if !is_anycast(&ip_b) => {
-                        *votes.entry(ip_b).or_default().entry(m).or_default() += 1;
-                    }
-                    _ => {}
                 }
+                out
+            })
+        };
+        dirty.clear();
+        for (addr, metro) in votes.into_iter().flatten() {
+            let t = &mut tally[addr as usize];
+            match t.binary_search_by_key(&metro, |&(m, _)| m) {
+                Ok(i) => t[i].1 += 1,
+                Err(i) => t.insert(i, (metro, 1)),
+            }
+            if !touched[addr as usize] {
+                touched[addr as usize] = true;
+                dirty.push(addr);
             }
         }
+
         // Commit locations with a strict two-thirds majority — single
-        // noisy observations must not seed further propagation.
-        let mut committed = 0usize;
-        for (ip, ms) in votes {
-            let total: usize = ms.values().sum();
-            if let Some((&metro, &n)) = ms.iter().max_by_key(|&(m, n)| (*n, std::cmp::Reverse(*m)))
-            {
-                if 3 * n >= 2 * total {
-                    located.insert(ip, metro);
-                    assignments.insert(ip, metro);
-                    committed += 1;
-                }
+        // noisy observations must not seed further propagation. Walk the
+        // touched addresses in ascending interned order (deterministic;
+        // commits are independent, so order affects nothing but is pinned
+        // anyway).
+        dirty.sort_unstable();
+        let mut committed_addrs: Vec<u32> = Vec::new();
+        for &addr in &dirty {
+            touched[addr as usize] = false;
+            let t = &tally[addr as usize];
+            let total: u32 = t.iter().map(|&(_, c)| c).sum();
+            // Max count, ties to the smallest metro: the tally is sorted
+            // by metro, so the first strict maximum wins.
+            let Some(&(metro, best)) = t.iter().max_by_key(|&&(m, c)| (c, std::cmp::Reverse(m)))
+            else {
+                continue;
+            };
+            if 3 * best >= 2 * total {
+                committed_addrs.push(addr);
+                loc[addr as usize] = metro;
+                assignments.insert(idx.addrs[addr as usize], metro as usize);
             }
         }
-        located_per_round.push(committed);
-        if committed == 0 {
+        // Located addresses stop tallying; release their buffers.
+        for &addr in &committed_addrs {
+            tally[addr as usize] = Vec::new();
+        }
+
+        located_per_round.push(committed_addrs.len());
+        if committed_addrs.is_empty() {
             break;
         }
+
+        // Next round's frontier: pairs incident to this round's commits,
+        // deduplicated (a pair may touch two newly located addresses).
+        frontier_pairs = committed_addrs
+            .iter()
+            .flat_map(|&addr| {
+                let (s, e) = (
+                    idx.inc_off[addr as usize] as usize,
+                    idx.inc_off[addr as usize + 1] as usize,
+                );
+                idx.inc_pairs[s..e].iter().copied()
+            })
+            .collect();
+        frontier_pairs.sort_unstable();
+        frontier_pairs.dedup();
     }
 
     // New (asn, metro) tuples.
@@ -202,30 +400,40 @@ pub fn consistency_check(igdb: &Igdb, params: &BeliefPropParams) -> ConsistencyR
         .iter()
         .filter_map(|(&ip, info)| Some((ip, info.metro?)))
         .collect();
-    // Neighbour votes for every address, excluding its own seed.
-    let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
-    for tr in &igdb.traces {
-        let hops: Vec<(Ip4, f64, u8)> = tr
-            .hops
-            .iter()
-            .filter_map(|h| h.ip.map(|ip| (ip, h.rtt_ms, h.ttl)))
-            .collect();
-        for w in hops.windows(2) {
-            let ((ip_a, rtt_a, ttl_a), (ip_b, rtt_b, ttl_b)) = (w[0], w[1]);
-            if ttl_b != ttl_a + 1
-                || (rtt_a - rtt_b).abs() >= params.metro_threshold_ms
-                || rtt_a >= params.probe_rtt_max_ms
-                || rtt_b >= params.probe_rtt_max_ms
-            {
-                continue;
-            }
-            if let Some(&m) = located.get(&ip_b) {
-                *votes.entry(ip_a).or_default().entry(m).or_default() += 1;
-            }
-            if let Some(&m) = located.get(&ip_a) {
-                *votes.entry(ip_b).or_default().entry(m).or_default() += 1;
+    // Neighbour votes for every address, excluding its own seed. Vote
+    // extraction fans out over traces (rolling previous-hop, no per-trace
+    // allocation); the serial merge is additive, so the tallies — and the
+    // majority decisions below — are worker-count invariant.
+    let chunks: Vec<Vec<(Ip4, usize)>> = igdb_par::par_chunks(&igdb.traces, |_, chunk| {
+        let mut out: Vec<(Ip4, usize)> = Vec::new();
+        for tr in chunk {
+            let mut prev: Option<(Ip4, f64, u8)> = None;
+            for h in &tr.hops {
+                let Some(ip) = h.ip else { continue };
+                let cur = (ip, h.rtt_ms, h.ttl);
+                if let Some((ip_a, rtt_a, ttl_a)) = prev {
+                    let (ip_b, rtt_b, ttl_b) = cur;
+                    if ttl_b == ttl_a + 1
+                        && (rtt_a - rtt_b).abs() < params.metro_threshold_ms
+                        && rtt_a < params.probe_rtt_max_ms
+                        && rtt_b < params.probe_rtt_max_ms
+                    {
+                        if let Some(&m) = located.get(&ip_b) {
+                            out.push((ip_a, m));
+                        }
+                        if let Some(&m) = located.get(&ip_a) {
+                            out.push((ip_b, m));
+                        }
+                    }
+                }
+                prev = Some(cur);
             }
         }
+        out
+    });
+    let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
+    for (ip, m) in chunks.into_iter().flatten() {
+        *votes.entry(ip).or_default().entry(m).or_default() += 1;
     }
     let mut comparable = 0usize;
     let mut agreeing = 0usize;

@@ -71,8 +71,27 @@ pub fn great_circle_arc(a: &GeoPoint, b: &GeoPoint, n_segments: usize) -> Vec<Ge
 }
 
 /// Total great-circle length of a polyline in kilometres.
+///
+/// Each interior vertex is shared by two segments, so its `cos(lat)` is
+/// computed once and carried across the window boundary; every other
+/// operation matches [`haversine_km`] exactly, keeping the sum bit-identical
+/// to `points.windows(2).map(|w| haversine_km(&w[0], &w[1])).sum()`.
 pub fn polyline_length_km(points: &[GeoPoint]) -> f64 {
-    points.windows(2).map(|w| haversine_km(&w[0], &w[1])).sum()
+    let mut sum = 0.0;
+    let Some(first) = points.first() else {
+        return sum;
+    };
+    let mut prev_cos = first.lat.to_radians().cos();
+    for w in points.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        let cur_cos = b.lat.to_radians().cos();
+        let dlat = (b.lat - a.lat).to_radians();
+        let dlon = (b.lon - a.lon).to_radians();
+        let s = (dlat / 2.0).sin().powi(2) + prev_cos * cur_cos * (dlon / 2.0).sin().powi(2);
+        sum += 2.0 * EARTH_RADIUS_KM * s.sqrt().min(1.0).asin();
+        prev_cos = cur_cos;
+    }
+    sum
 }
 
 /// Area of a polygon on the sphere in square kilometres, by the

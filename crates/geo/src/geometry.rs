@@ -77,10 +77,18 @@ impl MultiLineString {
 ///
 /// Rings are stored *closed* (first point repeated last) to match WKT
 /// convention; [`Polygon::new`] closes them if needed.
+///
+/// The exterior ring's bounding box is cached at construction and consulted
+/// by [`Polygon::contains`] before the exact winding test, so callers that
+/// probe many points against one polygon (hazard regions, Thiessen cells)
+/// pay the ray casting only for candidates inside the box. Mutating
+/// `exterior` in place after construction is unsupported — build a new
+/// polygon instead (nothing in the workspace mutates rings).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Polygon {
     pub exterior: Vec<GeoPoint>,
     pub holes: Vec<Vec<GeoPoint>>,
+    bbox: BoundingBox,
 }
 
 impl Polygon {
@@ -90,14 +98,27 @@ impl Polygon {
         for h in &mut holes {
             close_ring(h);
         }
-        Self { exterior, holes }
+        let bbox = BoundingBox::from_points(exterior.iter());
+        Self {
+            exterior,
+            holes,
+            bbox,
+        }
     }
 
     /// Point-in-polygon via the even–odd (ray casting) rule in planar
     /// lon/lat space; holes subtract. Points exactly on an edge may land on
     /// either side — acceptable for Thiessen-cell assignment, where ties are
     /// measure-zero and broken consistently by the nearest-site index.
+    ///
+    /// A point outside the cached exterior bounding box is rejected without
+    /// touching the ring: a horizontal ray from such a point crosses the
+    /// closed exterior an even number of times (zero when the latitude band
+    /// misses entirely), so the winding test would return `false` anyway.
     pub fn contains(&self, p: &GeoPoint) -> bool {
+        if !self.bbox.contains(p) {
+            return false;
+        }
         if !ring_contains(&self.exterior, p) {
             return false;
         }
@@ -135,8 +156,9 @@ impl Polygon {
         GeoPoint::raw(cx / (6.0 * a), cy / (6.0 * a))
     }
 
+    /// The exterior ring's bounding box, cached at construction.
     pub fn bbox(&self) -> BoundingBox {
-        BoundingBox::from_points(self.exterior.iter())
+        self.bbox
     }
 }
 

@@ -22,10 +22,13 @@
 //! * [`buffer`] — corridor buffers around polylines (the 25-mile InterTubes
 //!   comparison of Figure 4 and the MPLS hidden-hop inference of Figure 7).
 //! * [`spatial`] — spatial-join helpers built on the above.
+//! * [`batch`] — struct-of-arrays columns ([`GeoColumns`]) with batched
+//!   great-circle kernels, bit-identical to the scalar path.
 //!
 //! All coordinates are WGS-84 longitude/latitude degrees. Distances are in
 //! kilometres unless a function says otherwise.
 
+pub mod batch;
 pub mod buffer;
 pub mod delaunay;
 pub mod geodesy;
@@ -37,6 +40,7 @@ pub mod spatial;
 pub mod voronoi;
 pub mod wkt;
 
+pub use batch::{GeoColumns, RefPoint};
 pub use buffer::{buffer_polyline, point_within_corridor};
 pub use geodesy::{
     destination, great_circle_arc, haversine_km, initial_bearing_deg, intermediate_point,

@@ -7,17 +7,90 @@
 //! containing it), and several analyses join point sets against polygon
 //! sets (buffers, AS extents).
 
-use crate::geodesy::haversine_km;
+use crate::batch::{GeoColumns, RefPoint};
 use crate::geometry::Polygon;
 use crate::point::{BoundingBox, GeoPoint};
 use crate::rtree::{point_tree, RTree};
+use crate::EARTH_RADIUS_KM;
+
+/// Degrees of latitude per kilometre of meridional great-circle distance —
+/// used to convert a kilometre bound into an *exact* latitude-band
+/// prefilter (`|Δlat| · π/180 · R` never exceeds the great-circle
+/// distance).
+const KM_PER_LAT_RAD: f64 = EARTH_RADIUS_KM;
+
+/// Safety slack for the latitude-band prune: the meridional lower bound is
+/// mathematically ≤ the haversine distance, but both are rounded, so prune
+/// only when the bound clears the target by more than any accumulated ulp
+/// error (1 µm in kilometres — far below any data precision here).
+const PRUNE_SLACK_KM: f64 = 1e-9;
+
+#[inline]
+fn lat_band_lower_bound_km(dlat_deg: f64) -> f64 {
+    dlat_deg.abs().to_radians() * KM_PER_LAT_RAD
+}
+
+/// Degrees of latitude spanned by one kilometre of meridional distance.
+const DEG_PER_KM_LAT: f64 = 180.0 / (std::f64::consts::PI * EARTH_RADIUS_KM);
+
+/// An *exact* planar candidate window: every point within `radius_km`
+/// great-circle of `p` lies inside the returned box. `None` means no planar
+/// box suffices (the window would cross a pole or the antimeridian, or the
+/// radius covers most of the sphere) and the caller must scan every site.
+///
+/// Latitude: `|Δφ| · R ≤ d` for any great-circle distance `d`, so the band
+/// is `radius · 180/(πR)` degrees. Longitude: from the haversine identity,
+/// `cos φ_p · cos φ_s · sin²(Δλ/2) ≤ sin²(d / 2R)`, and `cos φ_s` over the
+/// reachable band is at least the cosine at the band's extreme latitude —
+/// giving `|Δλ| ≤ 2 asin(sin(d/2R) / √(cos φ_p · cos_band))`. Small slacks
+/// widen the window so floating-point rounding can only admit extra
+/// candidates, never drop a true one.
+fn exact_window(p: &GeoPoint, radius_km: f64) -> Option<BoundingBox> {
+    let lat_pad = radius_km * DEG_PER_KM_LAT + 1e-9;
+    let band_extreme = (p.lat.abs() + lat_pad).min(90.0);
+    let prod = p.lat.to_radians().cos() * band_extreme.to_radians().cos();
+    let s = (radius_km / (2.0 * EARTH_RADIUS_KM))
+        .min(std::f64::consts::FRAC_PI_2)
+        .sin();
+    if prod <= s * s * (1.0 + 1e-9) {
+        // The longitude bound degenerates to the full circle.
+        return None;
+    }
+    // The identity bounds |Δλ|/2, so the box half-width is twice the asin.
+    let half_lon = 2.0
+        * ((s / prod.sqrt()) * (1.0 + 1e-12))
+            .min(1.0)
+            .asin()
+            .to_degrees()
+        + 1e-9;
+    if half_lon >= 180.0 {
+        return None;
+    }
+    if p.lon - half_lon < -180.0 || p.lon + half_lon > 180.0 {
+        // Antimeridian wrap: a planar box cannot express the window.
+        return None;
+    }
+    Some(BoundingBox {
+        min_lon: p.lon - half_lon,
+        min_lat: p.lat - lat_pad,
+        max_lon: p.lon + half_lon,
+        max_lat: p.lat + lat_pad,
+    })
+}
 
 /// Nearest-site index over a fixed set of sites (e.g. the 7,342 urban
 /// areas). Queries return the site whose *great-circle* distance is
 /// minimal, which by construction is the Thiessen cell the query point
 /// falls in — so assignment never needs the polygon geometry at all.
+///
+/// Site coordinates live in struct-of-arrays [`GeoColumns`], so the
+/// candidate scans run the batched haversine kernel (cached `cos(lat)`
+/// columns, hoisted query-side trig) — bit-identical to the scalar path —
+/// and candidates are pruned by an exact latitude-band lower bound before
+/// the kernel runs at all.
 pub struct NearestSiteIndex {
     tree: RTree<usize>,
+    cols: GeoColumns,
     sites: Vec<GeoPoint>,
 }
 
@@ -28,6 +101,7 @@ impl NearestSiteIndex {
         let entries = sites.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
         Self {
             tree: point_tree(entries),
+            cols: GeoColumns::from_points(&sites),
             sites,
         }
     }
@@ -47,41 +121,75 @@ impl NearestSiteIndex {
     /// Returns `(site_index, great_circle_km)` of the nearest site, or
     /// `None` for an empty index.
     ///
-    /// Strategy: use the planar R-tree nearest as a seed, then expand a
-    /// degree-radius window wide enough to contain any site that could beat
-    /// the seed in great-circle terms (planar degree distance understates
-    /// longitude compression at high latitude by up to `1/cos(lat)`), and
-    /// scan candidates exactly.
+    /// Strategy: use the planar R-tree nearest as a seed (any site works as
+    /// a seed; the planar pick is merely a good one), then gather every
+    /// site inside the [`exact_window`] for the seed distance and scan
+    /// those exactly — skipping any candidate whose meridional lower bound
+    /// already exceeds the current best (the bound is exact, so pruned
+    /// candidates can neither win nor tie). When no planar window exists
+    /// (polar / antimeridian / near-global seed distance) every column is
+    /// scanned with the same prune.
     pub fn nearest(&self, p: &GeoPoint) -> Option<(usize, f64)> {
         let (seed, _) = self.tree.nearest_by_center(p)?;
         let seed_idx = *seed;
-        let seed_km = haversine_km(p, &self.sites[seed_idx]);
-        // Window: seed distance converted to degrees, inflated for latitude
-        // compression. 1 degree latitude ≈ 111.2 km.
-        let margin_deg = (seed_km / 111.0) * (1.0 / p.lat.to_radians().cos().abs().max(0.05)) + 1e-9;
+        let q = RefPoint::new(p);
+        let seed_km = self.cols.haversine_km_from(&q, seed_idx);
         let mut best = (seed_idx, seed_km);
-        for idx in self.tree.query_within_deg(p, margin_deg) {
-            let d = haversine_km(p, &self.sites[*idx]);
-            if d < best.1 || (d == best.1 && *idx < best.0) {
-                best = (*idx, d);
+        let consider = |idx: usize, best: &mut (usize, f64)| {
+            if lat_band_lower_bound_km(self.cols.lat_deg(idx) - p.lat) > best.1 + PRUNE_SLACK_KM {
+                return;
+            }
+            let d = self.cols.haversine_km_from(&q, idx);
+            if d < best.1 || (d == best.1 && idx < best.0) {
+                *best = (idx, d);
+            }
+        };
+        match exact_window(p, seed_km) {
+            Some(window) => {
+                for idx in self.tree.query_bbox(&window) {
+                    consider(*idx, &mut best);
+                }
+            }
+            None => {
+                for idx in 0..self.cols.len() {
+                    consider(idx, &mut best);
+                }
             }
         }
         Some(best)
     }
 
     /// All site indexes within `radius_km` great-circle of `p`, sorted by
-    /// distance (ties by index).
+    /// distance (ties by index). Candidates come from the [`exact_window`]
+    /// R-tree pass (or a full column scan when no planar window exists) and
+    /// are pruned by the exact latitude-band lower bound before the
+    /// haversine kernel runs.
     pub fn within_km(&self, p: &GeoPoint, radius_km: f64) -> Vec<(usize, f64)> {
-        let margin_deg = (radius_km / 111.0) * (1.0 / p.lat.to_radians().cos().abs().max(0.05));
-        let mut out: Vec<(usize, f64)> = self
-            .tree
-            .query_within_deg(p, margin_deg)
-            .into_iter()
-            .filter_map(|idx| {
-                let d = haversine_km(p, &self.sites[*idx]);
-                (d <= radius_km).then_some((*idx, d))
-            })
-            .collect();
+        let q = RefPoint::new(p);
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        let consider = |idx: usize, out: &mut Vec<(usize, f64)>| {
+            if lat_band_lower_bound_km(self.cols.lat_deg(idx) - p.lat)
+                > radius_km + PRUNE_SLACK_KM
+            {
+                return;
+            }
+            let d = self.cols.haversine_km_from(&q, idx);
+            if d <= radius_km {
+                out.push((idx, d));
+            }
+        };
+        match exact_window(p, radius_km) {
+            Some(window) => {
+                for idx in self.tree.query_bbox(&window) {
+                    consider(*idx, &mut out);
+                }
+            }
+            None => {
+                for idx in 0..self.cols.len() {
+                    consider(idx, &mut out);
+                }
+            }
+        }
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         out
     }
@@ -143,14 +251,33 @@ impl SpatialJoin {
     }
 
     /// Joins a batch of points: for each point, the polygons containing it.
+    ///
+    /// Batches above [`PAR_JOIN_THRESHOLD`] points fan out over the
+    /// `igdb-par` pool in contiguous chunks merged back in input order, so
+    /// the output is identical at any worker count. The threshold depends
+    /// only on the data (never on the worker count), keeping the pool's
+    /// deterministic invocation counters worker-invariant too.
     pub fn join_points(&self, points: &[GeoPoint]) -> Vec<Vec<usize>> {
-        points.iter().map(|p| self.containing(p)).collect()
+        if points.len() < PAR_JOIN_THRESHOLD {
+            return points.iter().map(|p| self.containing(p)).collect();
+        }
+        igdb_par::par_chunks(points, |_, chunk| {
+            chunk.iter().map(|p| self.containing(p)).collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
+
+/// Point count above which [`SpatialJoin::join_points`] parallelizes: below
+/// this, thread spawn overhead beats the per-point ray-casting cost.
+pub const PAR_JOIN_THRESHOLD: usize = 1024;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::geodesy::haversine_km;
 
     #[test]
     fn nearest_site_simple() {

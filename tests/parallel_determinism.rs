@@ -441,3 +441,128 @@ fn hidden_candidate_sets_match_naive_reference() {
     assert!(reports > 10, "too few reports exercised: {reports}");
     assert!(legs_checked > 20, "too few legs exercised: {legs_checked}");
 }
+
+// ---------------------------------------------------------------------------
+// Belief propagation: worker-count invariance and naive-reference equality
+// ---------------------------------------------------------------------------
+
+use igdb_core::analysis::beliefprop::{
+    consistency_check, propagate, BeliefPropParams, BeliefPropReport,
+};
+use std::collections::{BTreeMap, HashMap};
+
+fn assert_beliefprop_identical(a: &BeliefPropReport, b: &BeliefPropReport) {
+    assert_eq!(a.located_per_round, b.located_per_round);
+    let ma: BTreeMap<_, _> = a.assignments.iter().collect();
+    let mb: BTreeMap<_, _> = b.assignments.iter().collect();
+    assert_eq!(ma, mb, "assignments differ");
+    assert_eq!(a.new_tuples, b.new_tuples);
+    assert_eq!(a.new_metros, b.new_metros);
+    assert_eq!(a.new_ases, b.new_ases);
+    assert_eq!(a.ases_gaining_first_location, b.ases_gaining_first_location);
+}
+
+#[test]
+fn beliefprop_is_identical_across_worker_counts() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 1200);
+    let igdb = Igdb::build(&snaps);
+    let params = BeliefPropParams::default();
+    let serial = igdb_par::with_threads(1, || propagate(&igdb, &params));
+    for workers in [2usize, 4] {
+        let parallel = igdb_par::with_threads(workers, || propagate(&igdb, &params));
+        assert_beliefprop_identical(&serial, &parallel);
+    }
+    let cons1 = igdb_par::with_threads(1, || consistency_check(&igdb, &params));
+    let cons4 = igdb_par::with_threads(4, || consistency_check(&igdb, &params));
+    assert_eq!(cons1.comparable, cons4.comparable);
+    assert_eq!(cons1.agreeing, cons4.agreeing);
+}
+
+/// The original O(rounds x traces) formulation of `propagate`: every round
+/// rescans all traces and rebuilds the vote map against the current located
+/// set. Kept as the executable specification for the incremental
+/// frontier-sparsified engine.
+fn naive_propagate(igdb: &Igdb, params: &BeliefPropParams) -> HashMap<Ip4, usize> {
+    let mut located: HashMap<Ip4, usize> = igdb
+        .ip_info
+        .iter()
+        .filter_map(|(&ip, info)| Some((ip, info.metro?)))
+        .collect();
+    let mut assignments: HashMap<Ip4, usize> = HashMap::new();
+    for _ in 0..params.max_iterations {
+        let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
+        for tr in &igdb.traces {
+            let hops: Vec<(Ip4, f64, u8)> = tr
+                .hops
+                .iter()
+                .filter_map(|h| h.ip.map(|ip| (ip, h.rtt_ms, h.ttl)))
+                .collect();
+            for w in hops.windows(2) {
+                let ((ip_a, rtt_a, ttl_a), (ip_b, rtt_b, ttl_b)) = (w[0], w[1]);
+                let gap = ttl_b.saturating_sub(ttl_a);
+                if gap > 2 || (gap == 2 && (rtt_a - rtt_b).abs() >= params.metro_threshold_ms / 2.0)
+                {
+                    continue;
+                }
+                if (rtt_a - rtt_b).abs() >= params.metro_threshold_ms {
+                    continue;
+                }
+                if rtt_a >= params.probe_rtt_max_ms || rtt_b >= params.probe_rtt_max_ms {
+                    continue;
+                }
+                let is_anycast =
+                    |ip: &Ip4| igdb.ip_info.get(ip).map(|i| i.anycast).unwrap_or(false);
+                match (located.get(&ip_a).copied(), located.get(&ip_b).copied()) {
+                    (None, Some(m)) if !is_anycast(&ip_a) => {
+                        *votes.entry(ip_a).or_default().entry(m).or_default() += 1;
+                    }
+                    (Some(m), None) if !is_anycast(&ip_b) => {
+                        *votes.entry(ip_b).or_default().entry(m).or_default() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut committed = 0usize;
+        for (ip, ms) in votes {
+            let total: usize = ms.values().sum();
+            if let Some((&metro, &n)) = ms.iter().max_by_key(|&(m, n)| (*n, std::cmp::Reverse(*m)))
+            {
+                if 3 * n >= 2 * total {
+                    located.insert(ip, metro);
+                    assignments.insert(ip, metro);
+                    committed += 1;
+                }
+            }
+        }
+        if committed == 0 {
+            break;
+        }
+    }
+    assignments
+}
+
+#[test]
+fn beliefprop_matches_naive_reference() {
+    let world = World::generate(WorldConfig::tiny());
+    let snaps = emit_snapshots(&world, "2022-05-03", 1200);
+    let igdb = Igdb::build(&snaps);
+    for params in [
+        BeliefPropParams::default(),
+        BeliefPropParams {
+            metro_threshold_ms: 1.0,
+            ..BeliefPropParams::default()
+        },
+        BeliefPropParams {
+            max_iterations: 1,
+            ..BeliefPropParams::default()
+        },
+    ] {
+        let fast = propagate(&igdb, &params);
+        let naive = naive_propagate(&igdb, &params);
+        let ma: BTreeMap<_, _> = fast.assignments.iter().collect();
+        let mb: BTreeMap<_, _> = naive.iter().collect();
+        assert_eq!(ma, mb, "fast engine diverged from the naive rescan");
+    }
+}
