@@ -163,6 +163,36 @@ mod tests {
     }
 
     #[test]
+    fn panicking_fill_does_not_claim_the_entry() {
+        // The serve worker pool runs analyses under catch_unwind, so a
+        // compute closure *can* unwind mid-fill. `OnceLock::get_or_init`
+        // must leave the cell uninitialized in that case — the entry may
+        // stay allocated in the map, but it must never read as "computed
+        // and empty". A later caller recomputes, and only then is the
+        // value cached.
+        let cache = CorridorCache::new("test");
+        let calls = AtomicUsize::new(0);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.shortest_path(3, 8, |_, _| -> Option<(Vec<usize>, f64)> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                panic!("engine died mid-corridor");
+            })
+        }));
+        assert!(poisoned.is_err(), "the panic must propagate to the caller");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        // The second caller recomputes instead of seeing a phantom miss…
+        let compute = |lo: usize, hi: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some((vec![lo, hi], 4.0))
+        };
+        assert_eq!(cache.shortest_path(3, 8, compute), Some((vec![3, 8], 4.0)));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        // …and the recomputed value is now cached like any other.
+        assert_eq!(cache.shortest_path(8, 3, compute), Some((vec![8, 3], 4.0)));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn racing_workers_compute_each_pair_once() {
         let cache = CorridorCache::new("test");
         let calls = AtomicUsize::new(0);

@@ -56,5 +56,5 @@ pub use hoiho::HoihoEngine;
 pub use metros::{Metro, MetroRegistry};
 pub use corridor::CorridorCache;
 pub use roads::RoadGraph;
-pub use serving::{run_query_mix, QueryMixSummary};
+pub use serving::{run_query_mix, MixFailure, QueryMixSummary};
 pub use spath::{with_mode, ShortestPathEngine, SpMode, SpWorkspace, CH_AUTO_THRESHOLD};

@@ -40,6 +40,47 @@ pub struct QueryMixSummary {
     pub risk_paths: usize,
     /// Table 2 rows returned by the footprint query.
     pub footprint_rows: usize,
+    /// Legs that failed instead of reporting. Empty on a healthy run; a
+    /// non-empty list means the matching count fields are zero because
+    /// the query died, **not** because the data was empty — callers used
+    /// to have no way to tell those apart.
+    pub failures: Vec<MixFailure>,
+}
+
+/// One failed leg of the serving mix: which query died and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixFailure {
+    /// The analysis leg (`physpath`, `intertubes`, …).
+    pub query: &'static str,
+    /// The rendered panic payload.
+    pub detail: String,
+}
+
+/// Runs one mix leg under panic containment (the same discipline as the
+/// serve worker's `catch_unwind`): a leg that dies yields `None` plus a
+/// [`MixFailure`], tallied under the perf counter `serving.mix_failures`
+/// so the deterministic gated stream is unaffected, and the remaining
+/// legs still run.
+fn guarded<T>(
+    failures: &mut Vec<MixFailure>,
+    query: &'static str,
+    f: impl FnOnce() -> T,
+) -> Option<T> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            let detail = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            igdb_obs::perf("serving.mix_failures", query, 1);
+            failures.push(MixFailure { query, detail });
+            None
+        }
+    }
 }
 
 /// The hazard polygon used by the risk leg of the mix: a hurricane
@@ -72,47 +113,67 @@ pub fn run_query_mix(world: &World, igdb: &Igdb) -> QueryMixSummary {
         igdb.phys_graph().engine().prepare_ch();
     }
 
+    let mut failures = Vec::new();
+
     // 1. Physical paths for the whole anchor-mesh traceroute set, in
     //    parallel (one report per trace, input order).
-    let traces: Vec<Vec<Ip4>> = igdb
-        .traces
-        .iter()
-        .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
-        .collect();
-    let reports = physpath::physical_path_reports_with(igdb, igdb.phys_graph(), &traces);
-    let physpath_reports = reports.iter().flatten().count();
+    let physpath_reports = guarded(&mut failures, "physpath", || {
+        let traces: Vec<Vec<Ip4>> = igdb
+            .traces
+            .iter()
+            .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
+            .collect();
+        let reports = physpath::physical_path_reports_with(igdb, igdb.phys_graph(), &traces);
+        reports.iter().flatten().count()
+    })
+    .unwrap_or(0);
 
     // 2. InterTubes long-haul comparison.
-    let links = intertubes_recreation(&world.cities, &world.row);
-    let it = intertubes::compare(igdb, &links);
+    let intertubes_covered = guarded(&mut failures, "intertubes", || {
+        let links = intertubes_recreation(&world.cities, &world.row);
+        intertubes::compare(igdb, &links).covered
+    })
+    .unwrap_or(0);
 
     // 3. Rocketfuel logical-map remap.
-    let map = rocketfuel_recreation(world);
-    let rf = rocketfuel::remap(igdb, &map);
+    let rocketfuel_mapped = guarded(&mut failures, "rocketfuel", || {
+        let map = rocketfuel_recreation(world);
+        rocketfuel::remap(igdb, &map).mapped_edges
+    })
+    .unwrap_or(0);
 
     // 4. Hazard exposure + reroute of a pair whose traffic crosses the
     //    Gulf (skipped quietly at scales where the metros don't exist).
-    let hazard = gulf_hazard();
-    let exposure = risk::exposure(igdb, &hazard);
-    if let (Some(a), Some(b)) =
-        (igdb.metros.by_name("Dallas"), igdb.metros.by_name("Atlanta"))
-    {
-        let _ = risk::reroute(igdb, &hazard, a, b);
-    }
+    let risk_paths = guarded(&mut failures, "risk", || {
+        let hazard = gulf_hazard();
+        let exposure = risk::exposure(igdb, &hazard);
+        if let (Some(a), Some(b)) =
+            (igdb.metros.by_name("Dallas"), igdb.metros.by_name("Atlanta"))
+        {
+            let _ = risk::reroute(igdb, &hazard, a, b);
+        }
+        exposure.paths_at_risk.len()
+    })
+    .unwrap_or(0);
 
     // 5. AS footprints: Table 2 plus the overlap of the top two orgs.
-    let rows = footprint::top_by_countries(igdb, 11);
-    if let [a, b, ..] = rows.as_slice() {
-        let _ = footprint::org_overlap(igdb, &a.organization, &b.organization);
-    }
+    let footprint_rows = guarded(&mut failures, "footprint", || {
+        let rows = footprint::top_by_countries(igdb, 11);
+        if let [a, b, ..] = rows.as_slice() {
+            let _ = footprint::org_overlap(igdb, &a.organization, &b.organization);
+        }
+        rows.len()
+    })
+    .unwrap_or(0);
 
     igdb_obs::counter("serving.mix_runs", "", 1);
     QueryMixSummary {
         physpath_reports,
-        intertubes_covered: it.covered,
-        rocketfuel_mapped: rf.mapped_edges,
-        risk_paths: exposure.paths_at_risk.len(),
-        footprint_rows: rows.len(),
+        intertubes_covered,
+        rocketfuel_mapped,
+        risk_paths,
+        footprint_rows,
+        failures,
     }
 }
 
@@ -133,6 +194,7 @@ mod tests {
         };
         assert!(summary.physpath_reports > 0);
         assert!(summary.footprint_rows > 0);
+        assert_eq!(summary.failures, vec![], "healthy run reported failures");
         assert_eq!(reg.counter_value("serving.mix_runs", ""), 1);
         // Every analysis entry point fired at least once.
         for label in ["physpath", "intertubes", "rocketfuel", "risk", "footprint"] {
@@ -147,5 +209,30 @@ mod tests {
         assert!(full.contains("analysis.query_us"));
         let det = reg.json_lines(igdb_obs::JsonMode::Deterministic);
         assert!(!det.contains("analysis.query_us"));
+    }
+
+    #[test]
+    fn failed_legs_are_surfaced_not_swallowed() {
+        let reg = igdb_obs::Registry::new();
+        let _g = reg.install();
+        let mut failures = Vec::new();
+        // A healthy leg passes its value through and records nothing.
+        assert_eq!(guarded(&mut failures, "physpath", || 42usize), Some(42));
+        assert!(failures.is_empty());
+        // A dead leg yields None plus a failure row with the panic text.
+        let got: Option<usize> =
+            guarded(&mut failures, "risk", || panic!("hazard polygon inverted"));
+        assert_eq!(got, None);
+        assert_eq!(
+            failures,
+            vec![MixFailure { query: "risk", detail: "hazard polygon inverted".into() }]
+        );
+        // The tally is perf-class: visible in the full stream, absent
+        // from the deterministic one (goldens must not re-bless).
+        assert_eq!(reg.perf_value("serving.mix_failures", "risk"), 1);
+        assert!(reg.json_lines(igdb_obs::JsonMode::Full).contains("serving.mix_failures"));
+        assert!(!reg
+            .json_lines(igdb_obs::JsonMode::Deterministic)
+            .contains("serving.mix_failures"));
     }
 }

@@ -586,6 +586,103 @@ impl fmt::Display for BuildReport {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Serving-path errors
+// ---------------------------------------------------------------------------
+
+/// Why a serving-path request failed. This is the *complete* error
+/// taxonomy of the query server: every request admitted by `igdb-serve`
+/// resolves to either a typed result or exactly one of these variants —
+/// the chaos harness's ledger accounting depends on there being no other
+/// failure channel (no hangs, no silent drops, no panics escaping a
+/// worker).
+///
+/// Each variant has a stable one-byte wire code (see [`ServeError::code`])
+/// so the binary protocol can round-trip the taxonomy without stringly
+/// matching, and a stable [`name`](ServeError::name) used as the metric
+/// label on the server's shed/timeout/internal perf counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The frame or its payload did not decode to a valid request:
+    /// bad magic, truncated or oversized frame, unknown opcode, trailing
+    /// bytes, out-of-range parameters, or a write stall mid-frame.
+    BadRequest {
+        /// Human-readable decode failure (carried on the wire).
+        detail: String,
+    },
+    /// The request's monotonic deadline expired before (or while) the
+    /// analysis ran. The budget it was admitted with is echoed back so
+    /// clients can distinguish "server slow" from "I asked for too
+    /// little".
+    Timeout {
+        /// The deadline the request was admitted with, in milliseconds.
+        budget_ms: u64,
+    },
+    /// Admission control shed the request: the bounded queue was full.
+    /// Carries the queue depth observed at rejection so load generators
+    /// can see the backpressure point.
+    Overloaded {
+        /// Queue occupancy when the request was rejected.
+        queue_depth: u32,
+    },
+    /// The analysis panicked; the worker caught it at the request
+    /// boundary and the server kept running. The payload's panic message
+    /// (when it was a string) is carried for diagnosis.
+    Internal {
+        /// Panic payload rendered to text, or a placeholder.
+        detail: String,
+    },
+    /// The server is draining: in-flight requests finish, new ones are
+    /// refused with this.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// All variant names, in wire-code order (metric labels, ledger keys).
+    pub const NAMES: [&'static str; 5] = [
+        "bad_request",
+        "timeout",
+        "overloaded",
+        "internal",
+        "shutting_down",
+    ];
+
+    /// Stable one-byte wire code for the variant.
+    pub fn code(&self) -> u8 {
+        match self {
+            ServeError::BadRequest { .. } => 1,
+            ServeError::Timeout { .. } => 2,
+            ServeError::Overloaded { .. } => 3,
+            ServeError::Internal { .. } => 4,
+            ServeError::ShuttingDown => 5,
+        }
+    }
+
+    /// Stable variant name: the metric label on serve-side perf counters
+    /// and the key the chaos ledger matches observed outcomes against.
+    pub fn name(&self) -> &'static str {
+        Self::NAMES[self.code() as usize - 1]
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            ServeError::Timeout { budget_ms } => {
+                write!(f, "deadline expired (budget {budget_ms} ms)")
+            }
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded (queue depth {queue_depth})")
+            }
+            ServeError::Internal { detail } => write!(f, "internal error: {detail}"),
+            ServeError::ShuttingDown => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -777,5 +874,29 @@ mod tests {
             },
         };
         assert!(e.to_string().contains("record 4"));
+    }
+
+    #[test]
+    fn serve_error_codes_and_names_are_stable() {
+        let all = [
+            ServeError::BadRequest {
+                detail: "x".into(),
+            },
+            ServeError::Timeout { budget_ms: 250 },
+            ServeError::Overloaded { queue_depth: 8 },
+            ServeError::Internal {
+                detail: "boom".into(),
+            },
+            ServeError::ShuttingDown,
+        ];
+        // Wire codes are 1-based, dense, and in NAMES order — the binary
+        // protocol and the chaos ledger both key on this.
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.code() as usize, i + 1);
+            assert_eq!(e.name(), ServeError::NAMES[i]);
+        }
+        assert!(all[1].to_string().contains("250 ms"));
+        assert!(all[2].to_string().contains("queue depth 8"));
+        assert!(all[3].to_string().contains("boom"));
     }
 }

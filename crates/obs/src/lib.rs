@@ -54,7 +54,7 @@
 //!    golden-file tests of the metrics stream possible.
 
 use std::borrow::Cow;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -247,6 +247,42 @@ thread_local! {
     static CURRENT: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
     /// Open spans on this thread: `(registry id, span index)`.
     static SPAN_STACK: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+    /// Nesting depth of [`suppress_spans`] guards on this thread.
+    static SPAN_GAG: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Guard returned by [`suppress_spans`]; re-enables the free [`span`]
+/// function on this thread when dropped (guards nest).
+pub struct SpanGag {
+    _priv: (),
+}
+
+impl Drop for SpanGag {
+    fn drop(&mut self) {
+        SPAN_GAG.with(|g| g.set(g.get() - 1));
+    }
+}
+
+/// Makes the free [`span`] function inert on this thread until the guard
+/// drops; counters, perf counters and histograms keep flowing.
+///
+/// Spans are serial-only (determinism rule 2): they assume one thread
+/// walks the pipeline, so a span opened from a pool worker would record
+/// scheduling order into the deterministic stream. Instrumented analysis
+/// code can't know who calls it — so a caller that *is* a pool worker
+/// (the query server's request executors) installs this gag alongside the
+/// registry, keeping the analyses' counters and latency histograms while
+/// dropping their spans. Explicit [`Registry::span`] calls are not
+/// affected — code that names a registry is expected to know its context.
+#[must_use = "spans are only suppressed until the guard drops"]
+pub fn suppress_spans() -> SpanGag {
+    SPAN_GAG.with(|g| g.set(g.get() + 1));
+    SpanGag { _priv: () }
+}
+
+/// Whether a [`suppress_spans`] guard is active on this thread.
+pub fn spans_suppressed() -> bool {
+    SPAN_GAG.with(|g| g.get() > 0)
 }
 
 /// Guard returned by [`Registry::install`]; pops the current-registry
@@ -1167,8 +1203,12 @@ pub fn observe(name: impl Into<Name>, label: impl Into<Name>, value: u64) {
     }
 }
 
-/// Opens a span on the current registry (inert guard without one).
+/// Opens a span on the current registry (inert guard without one, or
+/// while a [`suppress_spans`] guard is active on this thread).
 pub fn span(name: impl Into<Name>) -> Span {
+    if spans_suppressed() {
+        return Span { reg: None };
+    }
     match current() {
         Some(r) => r.span(name),
         None => Span { reg: None },
@@ -1710,5 +1750,112 @@ mod tests {
         for needle in ["counters:", "perf:", "histograms:", "spans:", "ingest.rows_in{roads}"] {
             assert!(t.contains(needle), "missing {needle} in:\n{t}");
         }
+    }
+
+    #[test]
+    fn suppress_spans_gags_free_spans_but_not_metrics() {
+        let reg = Registry::new();
+        let _g = reg.install();
+        {
+            let _gag = suppress_spans();
+            assert!(spans_suppressed());
+            {
+                // Nested guards stack.
+                let _gag2 = suppress_spans();
+                drop(span("worker.should_not_record"));
+            }
+            assert!(spans_suppressed());
+            drop(span("worker.still_gagged"));
+            // Counters, perf and histograms keep flowing under the gag —
+            // that's the whole point: pool workers keep their deterministic
+            // tallies while dropping scheduling-ordered spans.
+            counter("serve.ok", "ping", 1);
+            perf("serve.shed", "", 1);
+            observe("serve.queue_depth", "", 3);
+            // An explicit Registry::span is not gagged (the caller named
+            // the registry, so it owns the serial-context decision).
+            drop(reg.span("explicit"));
+        }
+        assert!(!spans_suppressed());
+        drop(span("after"));
+        let names: Vec<String> = reg.spans().iter().map(|s| s.name.to_string()).collect();
+        assert_eq!(names, ["explicit", "after"]);
+        assert_eq!(reg.counter_value("serve.ok", "ping"), 1);
+        assert_eq!(reg.perf_value("serve.shed", ""), 1);
+        assert_eq!(reg.histogram("serve.queue_depth", "").unwrap().count, 1);
+        reg.check_span_nesting().unwrap();
+    }
+
+    #[test]
+    fn diff_handles_empty_and_single_observation_histograms() {
+        // A parsed-back histogram with zero observations is legal (a
+        // serve stream can carry a never-hit latency hist) and must diff
+        // cleanly against itself, with all quantiles pinned to 0.
+        let empty_line = "{\"type\":\"hist\",\"name\":\"serve.request_us\",\"label\":\"ping\",\"count\":0,\"sum\":0,\"min\":0,\"max\":0,\"buckets\":\"\"}\n";
+        let base = Registry::from_json_lines(empty_line).unwrap();
+        let cur = Registry::from_json_lines(empty_line).unwrap();
+        assert!(diff_registries(&base, &cur, Some(0.0)).is_clean());
+        let h = base.histogram("serve.request_us", "ping").unwrap();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+
+        // Empty → one observation trips the count band at any tolerance
+        // (relative to max(|base|, 1) the jump is 100%), but is invisible
+        // without one — histograms are perf-class.
+        let one = Registry::new();
+        one.observe("serve.request_us", "ping", 42);
+        assert!(diff_registries(&base, &one, None).is_clean());
+        let report = diff_registries(&base, &one, Some(50.0));
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].class, "hist");
+
+        // Single observation on both sides: identical streams are clean
+        // even at zero tolerance, and the parsed-back quantiles all sit on
+        // the one value.
+        let one_rt = Registry::from_json_lines(&one.json_lines(JsonMode::Full)).unwrap();
+        assert!(diff_registries(&one, &one_rt, Some(0.0)).is_clean());
+        let h = one_rt.histogram("serve.request_us", "ping").unwrap();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn diff_gate_is_forward_compatible_with_serve_counters() {
+        // A serving-era baseline (pre-server counters only).
+        let old = Registry::new();
+        old.counter_add("serving.mix_runs", "", 1);
+        old.counter_add("spath.queries", "", 100);
+
+        // A current stream from the hardened server: same serving
+        // counters plus the serve.* families (deterministic request
+        // tallies, perf shed/timeout counts, queue-depth hist).
+        let cur = Registry::new();
+        cur.counter_add("serving.mix_runs", "", 1);
+        cur.counter_add("spath.queries", "", 100);
+        cur.counter_add("serve.requests", "sp_query", 60);
+        cur.counter_add("serve.ok", "sp_query", 60);
+        cur.perf_add("serve.shed", "", 4);
+        cur.observe("serve.queue_depth", "", 2);
+
+        // Against the old baseline the new counters surface as explicit
+        // "not in baseline" rows — the gate fails loudly until the
+        // baseline is re-blessed, never silently.
+        let report = diff_registries(&old, &cur, None);
+        assert_eq!(report.rows.len(), 2);
+        for r in &report.rows {
+            assert_eq!(r.class, "counter");
+            assert_eq!(r.note, "not in baseline");
+            assert!(r.key.starts_with("serve."), "unexpected row {r:?}");
+        }
+        // Perf/hist serve metrics never gate without a tolerance.
+        assert!(report.rows.iter().all(|r| r.class != "perf" && r.class != "hist"));
+
+        // Re-blessed baseline: the deterministic stream round-trips
+        // byte-identically and gates clean, including the serve counters.
+        let det = cur.json_lines(JsonMode::Deterministic);
+        let reparsed = Registry::from_json_lines(&det).unwrap();
+        assert_eq!(reparsed.json_lines(JsonMode::Deterministic), det);
+        assert!(diff_registries(&reparsed, &cur, None).is_clean());
     }
 }

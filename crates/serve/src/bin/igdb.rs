@@ -17,9 +17,15 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use std::time::Duration;
+
 use igdb_core::{BuildError, BuildPolicy, Igdb};
 use igdb_db::{Database, Predicate, Query, Value};
 use igdb_geo::{GeoPoint, NearestSiteIndex};
+use igdb_serve::{
+    loadgen_session, run_loadgen, Client, Listener, LoadgenConfig, Request, Response, Server,
+    ServerAddr, ServerConfig,
+};
 use igdb_synth::faults::FaultClass;
 use igdb_synth::{emit_snapshots, inject_faults, World, WorldConfig};
 
@@ -107,6 +113,8 @@ fn main() -> ExitCode {
         "export" => cmd_export(&args[1..]).map_err(CliError::from),
         "metrics" => cmd_metrics(&args[1..]),
         "queries" => cmd_queries(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -154,6 +162,24 @@ commands:
           build a database and serve the fixed synthetic query mix (all
           five analyses), writing serving telemetry as JSON-lines;
           --deterministic redacts timing (the committed-baseline format)
+  serve   (--listen HOST:PORT | --unix PATH) [--scale tiny|medium]
+          [--date YYYY-MM-DD] [--mesh N] [--workers N] [--queue N]
+          [--deadline-ms N] [--metrics FILE.jsonl]
+          build a database and serve it over the binary protocol with
+          per-request deadlines, bounded-queue backpressure, and panic
+          containment; runs until stdin closes, then drains gracefully
+          (finishes in-flight work, rejects new requests typed) and
+          flushes metrics
+  loadgen [--addr HOST:PORT|unix:PATH] [--requests N] [--conns N]
+          [--seed N] [--qps Q] [--deadline-ms N] [--scale tiny|medium]
+          [--mesh N] [--workers N] [--queue N] [--out FILE.jsonl]
+          [--deterministic]
+          replay a seeded query mix and report throughput and latency
+          quantiles (p50/p99); --qps>0 paces an open loop (measures
+          shedding under saturation), otherwise a deterministic closed
+          loop. Without --addr an in-process server is started and the
+          merged server+client telemetry is written to --out
+          (--deterministic gives the committed-baseline format)
   query   --db DIR --table NAME [--where col=value ...] [--select a,b,c]
           [--limit N] [--order col[:desc]]
   metro   --db DIR --lon X --lat Y
@@ -411,6 +437,204 @@ fn cmd_queries(args: &[String]) -> Result<(), CliError> {
     io_ctx(out_file.write_all(doc.as_bytes()), "write metrics file", &out)?;
     eprintln!("wrote serving telemetry to {}", out.display());
     Ok(())
+}
+
+/// Builds a synthetic-world database from the shared `--scale`,
+/// `--date`, and `--mesh` flags (the `serve`/`loadgen` ingestion path).
+fn synth_igdb(args: &[String]) -> Result<Igdb, CliError> {
+    let scale = flag(args, "--scale").unwrap_or_else(|| "tiny".into());
+    let date = flag(args, "--date").unwrap_or_else(|| "2022-05-03".into());
+    let mesh: usize = flag(args, "--mesh")
+        .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
+        .transpose()?
+        .unwrap_or(500);
+    let config = match scale.as_str() {
+        "tiny" => WorldConfig::tiny(),
+        "medium" => WorldConfig::medium(),
+        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
+    };
+    eprintln!("generating world ({scale})…");
+    let world = World::generate(config);
+    eprintln!("emitting snapshots for {date}…");
+    let snaps = emit_snapshots(&world, &date, mesh);
+    eprintln!("building database…");
+    Ok(Igdb::build(&snaps))
+}
+
+/// Parses the serving knobs shared by `serve` and in-process `loadgen`.
+fn server_config(args: &[String], enable_test_ops: bool) -> Result<ServerConfig, CliError> {
+    let mut cfg = ServerConfig { enable_test_ops, ..ServerConfig::default() };
+    if let Some(w) = flag(args, "--workers") {
+        cfg.workers = w.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if let Some(q) = flag(args, "--queue") {
+        cfg.queue_capacity = q.parse().map_err(|e| format!("bad --queue: {e}"))?;
+        if cfg.queue_capacity == 0 {
+            return Err("--queue wants a capacity >= 1".into());
+        }
+    }
+    if let Some(d) = flag(args, "--deadline-ms") {
+        let ms: u64 = d.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+        cfg.default_deadline = Duration::from_millis(ms.max(1));
+    }
+    Ok(cfg)
+}
+
+/// `igdb serve` — build a database and serve it until stdin closes, then
+/// drain gracefully and flush metrics.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let listener = match (flag(args, "--listen"), flag(args, "--unix")) {
+        (Some(addr), None) => {
+            io_ctx(Listener::bind_tcp(&addr), "bind tcp listener", Path::new(&addr))?
+        }
+        (None, Some(path)) => {
+            let p = PathBuf::from(path);
+            io_ctx(Listener::bind_unix(&p), "bind unix listener", &p)?
+        }
+        _ => return Err("serve wants exactly one of --listen ADDR or --unix PATH".into()),
+    };
+    let cfg = server_config(args, false)?;
+    let metrics_path = flag(args, "--metrics").map(PathBuf::from);
+    // Fail fast on an unwritable metrics path, before paying for the build.
+    use std::io::Write as _;
+    let mut metrics_file = match &metrics_path {
+        Some(p) => Some(io_ctx(std::fs::File::create(p), "create metrics file", p)?),
+        None => None,
+    };
+    let igdb = synth_igdb(args)?;
+    let reg = igdb_obs::Registry::new();
+    let server = io_ctx(
+        Server::start(std::sync::Arc::new(igdb), listener, cfg, reg.clone()),
+        "start server",
+        Path::new("<listener>"),
+    )?;
+    eprintln!("serving on {} — close stdin (ctrl-d) to drain", server.addr());
+    // Block until the operator closes stdin; every byte before EOF is
+    // ignored, so `igdb serve … < /dev/null` drains immediately.
+    let mut sink = [0u8; 4096];
+    let mut stdin = std::io::stdin();
+    while matches!(std::io::Read::read(&mut stdin, &mut sink), Ok(n) if n > 0) {}
+    eprintln!("draining…");
+    let report = server.drain();
+    eprintln!(
+        "drained: {} served, {} errors, {} rejects",
+        report.served, report.errors, report.rejects
+    );
+    if let Some(f) = &mut metrics_file {
+        let p = metrics_path.as_ref().expect("path implies file");
+        io_ctx(
+            f.write_all(reg.json_lines(igdb_obs::JsonMode::Full).as_bytes()),
+            "write metrics file",
+            p,
+        )?;
+        eprintln!("wrote metrics to {}", p.display());
+    }
+    Ok(())
+}
+
+/// `igdb loadgen` — replay a seeded query mix against a server (an
+/// in-process one unless `--addr` points elsewhere) and report sustained
+/// throughput plus latency quantiles.
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = LoadgenConfig::default();
+    if let Some(r) = flag(args, "--requests") {
+        cfg.requests = r.parse().map_err(|e| format!("bad --requests: {e}"))?;
+    }
+    if let Some(c) = flag(args, "--conns") {
+        let conns: usize = c.parse().map_err(|e| format!("bad --conns: {e}"))?;
+        if conns == 0 {
+            return Err("--conns wants at least 1".into());
+        }
+        cfg.conns = conns;
+    }
+    if let Some(s) = flag(args, "--seed") {
+        cfg.seed = s.parse().map_err(|e| format!("bad --seed: {e}"))?;
+    }
+    if let Some(q) = flag(args, "--qps") {
+        cfg.qps = q.parse().map_err(|e| format!("bad --qps: {e}"))?;
+        if !(cfg.qps >= 0.0) {
+            return Err("--qps wants a rate >= 0".into());
+        }
+    }
+    if let Some(d) = flag(args, "--deadline-ms") {
+        cfg.deadline_ms = d.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+    }
+    let out = flag(args, "--out").map(PathBuf::from);
+    let mode = if args.iter().any(|a| a == "--deterministic") {
+        igdb_obs::JsonMode::Deterministic
+    } else {
+        igdb_obs::JsonMode::Full
+    };
+    use std::io::Write as _;
+    let mut out_file = match &out {
+        Some(p) => Some(io_ctx(std::fs::File::create(p), "create metrics file", p)?),
+        None => None,
+    };
+
+    let (summary, reg) = match flag(args, "--addr") {
+        Some(addr) => {
+            // Remote mode: the mix needs the metro-id bound, which the
+            // server's inline Stats op reports.
+            let addr = parse_addr(&addr)?;
+            let reg = igdb_obs::Registry::new();
+            let mut probe = io_ctx(
+                Client::connect(&addr, cfg.io_timeout),
+                "connect to server",
+                Path::new("<addr>"),
+            )?;
+            let n_metros = match probe.call(&Request::Stats, 0) {
+                Ok(Response::Stats { n_metros, .. }) => n_metros as usize,
+                other => return Err(format!("server stats probe failed: {other:?}").into()),
+            };
+            drop(probe);
+            let summary = run_loadgen(&addr, n_metros, &cfg, &reg);
+            (summary, reg)
+        }
+        None => {
+            // In-process mode: server + client share one registry so the
+            // stream carries both sides (the metrics-gate format).
+            let igdb = synth_igdb(args)?;
+            let server_cfg = ServerConfig {
+                // Closed-loop baselines must never time out on their own.
+                default_deadline: Duration::from_secs(30),
+                ..server_config(args, false)?
+            };
+            let socket = std::env::temp_dir()
+                .join(format!("igdb-loadgen-{}.sock", std::process::id()));
+            let (summary, report, reg) = io_ctx(
+                loadgen_session(std::sync::Arc::new(igdb), &socket, server_cfg, &cfg),
+                "run loadgen session",
+                &socket,
+            )?;
+            eprintln!(
+                "server drained: {} served, {} errors, {} rejects",
+                report.served, report.errors, report.rejects
+            );
+            (summary, reg)
+        }
+    };
+    println!("{}", summary.render());
+    if let Some(f) = &mut out_file {
+        let p = out.as_ref().expect("path implies file");
+        io_ctx(f.write_all(reg.json_lines(mode).as_bytes()), "write metrics file", p)?;
+        eprintln!("wrote telemetry to {}", p.display());
+    }
+    Ok(())
+}
+
+/// Parses `--addr`: `unix:PATH` or a `HOST:PORT` socket address.
+fn parse_addr(raw: &str) -> Result<ServerAddr, CliError> {
+    if let Some(path) = raw.strip_prefix("unix:") {
+        return Ok(ServerAddr::Unix(PathBuf::from(path)));
+    }
+    use std::net::ToSocketAddrs as _;
+    let mut addrs = raw
+        .to_socket_addrs()
+        .map_err(|e| format!("bad --addr '{raw}': {e}"))?;
+    addrs
+        .next()
+        .map(ServerAddr::Tcp)
+        .ok_or_else(|| "bad --addr: resolved to nothing".into())
 }
 
 fn open_db(args: &[String]) -> Result<Database, String> {

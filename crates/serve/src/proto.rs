@@ -1,0 +1,632 @@
+//! The wire protocol: compact length-prefixed binary frames.
+//!
+//! Every message — request or response — travels in one frame:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        0x42444769 ("iGDB" little-endian)
+//!      4     8  id           correlation id, echoed on the response
+//!     12     4  deadline_ms  requests: per-request budget (0 = server
+//!                            default); responses: always 0
+//!     16     1  op           opcode (requests) / tag (responses)
+//!     17     4  len          payload length in bytes
+//!     21   len  payload      opcode-specific little-endian fields
+//! ```
+//!
+//! All integers are little-endian; floats are IEEE-754 bit patterns in a
+//! `u64`. The frame is self-delimiting, so a reader always knows whether
+//! it is desynchronized: a bad magic, an oversized `len`, or bytes left
+//! over after decoding are each a typed [`ProtoError`], which the server
+//! answers with a [`ServeError::BadRequest`] before closing the
+//! connection (a desynchronized stream cannot be trusted further).
+//!
+//! The error taxonomy on the wire is exactly [`ServeError`]: tag
+//! [`TAG_ERROR`] carries the one-byte [`ServeError::code`], a `u64`
+//! auxiliary (deadline budget or queue depth), and a detail string.
+
+use std::io::{Read, Write};
+
+use igdb_fault::ServeError;
+
+/// `"iGDB"` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"iGDB");
+
+/// Fixed frame-header size (magic + id + deadline + op + len).
+pub const HEADER_LEN: usize = 21;
+
+/// Default cap on payload length; a frame claiming more is refused
+/// without allocating.
+pub const DEFAULT_MAX_FRAME: u32 = 1 << 20;
+
+/// Response tag carrying a [`ServeError`].
+pub const TAG_ERROR: u8 = 0xE0;
+
+/// A request the server can execute.
+///
+/// `Sleep` and `Panic` are chaos-harness instruments: they only decode
+/// when the server was started with `enable_test_ops` (production
+/// configurations answer them with `BadRequest`). `Stats` is a control
+/// op answered inline by the connection reader — it bypasses the request
+/// queue so the chaos harness can observe saturation while every worker
+/// is busy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe through the full queue/worker path.
+    Ping,
+    /// One shortest-path query over the physical graph.
+    SpQuery { from: u32, to: u32 },
+    /// A batch of shortest-path queries; the deadline is checked between
+    /// pairs (the analysis-loop safepoint).
+    SpBatch { pairs: Vec<(u32, u32)> },
+    /// Hazard-region exposure (§4.4) over an axis-aligned bounding box.
+    RiskExposure { west: f64, south: f64, east: f64, north: f64 },
+    /// Country-presence footprint (§4.5, Table 2).
+    Footprint { top_n: u16 },
+    /// Test op: hold a worker for `ms`, checking the deadline every
+    /// millisecond.
+    Sleep { ms: u32 },
+    /// Test op: panic inside the analysis (exercises containment).
+    Panic,
+    /// Control op: server stats, answered inline by the reader.
+    Stats,
+}
+
+impl Request {
+    /// Stable opcode.
+    pub fn op(&self) -> u8 {
+        match self {
+            Request::Ping => 0x01,
+            Request::SpQuery { .. } => 0x02,
+            Request::SpBatch { .. } => 0x03,
+            Request::RiskExposure { .. } => 0x04,
+            Request::Footprint { .. } => 0x05,
+            Request::Sleep { .. } => 0x06,
+            Request::Panic => 0x07,
+            Request::Stats => 0x08,
+        }
+    }
+
+    /// Metric label for this request kind (`serve.requests{kind}`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::SpQuery { .. } => "sp_query",
+            Request::SpBatch { .. } => "sp_batch",
+            Request::RiskExposure { .. } => "risk",
+            Request::Footprint { .. } => "footprint",
+            Request::Sleep { .. } => "sleep",
+            Request::Panic => "panic",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// Serializes the payload (everything after the frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping | Request::Panic | Request::Stats => {}
+            Request::SpQuery { from, to } => {
+                out.extend_from_slice(&from.to_le_bytes());
+                out.extend_from_slice(&to.to_le_bytes());
+            }
+            Request::SpBatch { pairs } => {
+                out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+                for &(a, b) in pairs {
+                    out.extend_from_slice(&a.to_le_bytes());
+                    out.extend_from_slice(&b.to_le_bytes());
+                }
+            }
+            Request::RiskExposure { west, south, east, north } => {
+                for v in [west, south, east, north] {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            Request::Footprint { top_n } => out.extend_from_slice(&top_n.to_le_bytes()),
+            Request::Sleep { ms } => out.extend_from_slice(&ms.to_le_bytes()),
+        }
+        out
+    }
+
+    /// Decodes a request payload for `op`. Rejects trailing bytes: a
+    /// frame that decodes but is longer than its opcode allows is a
+    /// desynchronization signal, not padding.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cur::new(payload);
+        let req = match op {
+            0x01 => Request::Ping,
+            0x02 => Request::SpQuery { from: c.u32()?, to: c.u32()? },
+            0x03 => {
+                let n = c.u32()? as usize;
+                // Bound before allocating: the count must be consistent
+                // with the bytes actually present.
+                if payload.len().saturating_sub(4) != n * 8 {
+                    return Err(ProtoError::BadValue {
+                        what: "sp_batch pair count disagrees with payload length",
+                    });
+                }
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pairs.push((c.u32()?, c.u32()?));
+                }
+                Request::SpBatch { pairs }
+            }
+            0x04 => Request::RiskExposure {
+                west: c.f64()?,
+                south: c.f64()?,
+                east: c.f64()?,
+                north: c.f64()?,
+            },
+            0x05 => Request::Footprint { top_n: c.u16()? },
+            0x06 => Request::Sleep { ms: c.u32()? },
+            0x07 => Request::Panic,
+            0x08 => Request::Stats,
+            other => return Err(ProtoError::UnknownOpcode { op: other }),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// A typed response. Exactly one is produced for every admitted request,
+/// and exactly one `Error` for every refused or failed one — the chaos
+/// ledger's conservation law.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Pong,
+    /// A route exists: hop count and length.
+    Path { hops: u32, km: f64 },
+    /// No route between the endpoints (a result, not an error).
+    NoRoute,
+    /// Batch summary: routed pairs, unreachable pairs, total km routed.
+    Batch { routed: u32, unreachable: u32, total_km: f64 },
+    Risk { paths: u32, cables: u32, metros: u32, ases: u32 },
+    Footprint { rows: u32 },
+    Slept,
+    Stats {
+        n_metros: u32,
+        queue_depth: u32,
+        queue_capacity: u32,
+        busy_workers: u32,
+        draining: bool,
+    },
+    Error(ServeError),
+}
+
+impl Response {
+    /// Stable response tag.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Response::Pong => 0x81,
+            Response::Path { .. } => 0x82,
+            Response::NoRoute => 0x83,
+            Response::Batch { .. } => 0x84,
+            Response::Risk { .. } => 0x85,
+            Response::Footprint { .. } => 0x86,
+            Response::Slept => 0x87,
+            Response::Stats { .. } => 0x88,
+            Response::Error(_) => TAG_ERROR,
+        }
+    }
+
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Pong | Response::NoRoute | Response::Slept => {}
+            Response::Path { hops, km } => {
+                out.extend_from_slice(&hops.to_le_bytes());
+                out.extend_from_slice(&km.to_bits().to_le_bytes());
+            }
+            Response::Batch { routed, unreachable, total_km } => {
+                out.extend_from_slice(&routed.to_le_bytes());
+                out.extend_from_slice(&unreachable.to_le_bytes());
+                out.extend_from_slice(&total_km.to_bits().to_le_bytes());
+            }
+            Response::Risk { paths, cables, metros, ases } => {
+                for v in [paths, cables, metros, ases] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Footprint { rows } => out.extend_from_slice(&rows.to_le_bytes()),
+            Response::Stats { n_metros, queue_depth, queue_capacity, busy_workers, draining } => {
+                for v in [n_metros, queue_depth, queue_capacity, busy_workers] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                out.push(*draining as u8);
+            }
+            Response::Error(e) => {
+                out.push(e.code());
+                let (aux, detail): (u64, &str) = match e {
+                    ServeError::BadRequest { detail } => (0, detail),
+                    ServeError::Timeout { budget_ms } => (*budget_ms, ""),
+                    ServeError::Overloaded { queue_depth } => (*queue_depth as u64, ""),
+                    ServeError::Internal { detail } => (0, detail),
+                    ServeError::ShuttingDown => (0, ""),
+                };
+                out.extend_from_slice(&aux.to_le_bytes());
+                out.extend_from_slice(&(detail.len() as u32).to_le_bytes());
+                out.extend_from_slice(detail.as_bytes());
+            }
+        }
+        out
+    }
+
+    pub fn decode(tag: u8, payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cur::new(payload);
+        let resp = match tag {
+            0x81 => Response::Pong,
+            0x82 => Response::Path { hops: c.u32()?, km: c.f64()? },
+            0x83 => Response::NoRoute,
+            0x84 => Response::Batch {
+                routed: c.u32()?,
+                unreachable: c.u32()?,
+                total_km: c.f64()?,
+            },
+            0x85 => Response::Risk {
+                paths: c.u32()?,
+                cables: c.u32()?,
+                metros: c.u32()?,
+                ases: c.u32()?,
+            },
+            0x86 => Response::Footprint { rows: c.u32()? },
+            0x87 => Response::Slept,
+            0x88 => Response::Stats {
+                n_metros: c.u32()?,
+                queue_depth: c.u32()?,
+                queue_capacity: c.u32()?,
+                busy_workers: c.u32()?,
+                draining: c.u8()? != 0,
+            },
+            TAG_ERROR => {
+                let code = c.u8()?;
+                let aux = c.u64()?;
+                let len = c.u32()? as usize;
+                let detail = String::from_utf8_lossy(c.bytes(len)?).into_owned();
+                Response::Error(match code {
+                    1 => ServeError::BadRequest { detail },
+                    2 => ServeError::Timeout { budget_ms: aux },
+                    3 => ServeError::Overloaded { queue_depth: aux as u32 },
+                    4 => ServeError::Internal { detail },
+                    5 => ServeError::ShuttingDown,
+                    _ => return Err(ProtoError::BadValue { what: "unknown error code" }),
+                })
+            }
+            other => return Err(ProtoError::UnknownOpcode { op: other }),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// A decode-level failure: the bytes did not form a valid frame or
+/// payload. The server maps each to a [`ServeError::BadRequest`] with the
+/// `Display` text as detail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The stream is not speaking this protocol (or is desynchronized).
+    BadMagic { got: u32 },
+    /// Claimed payload length exceeds the configured cap.
+    FrameTooLarge { len: u32, max: u32 },
+    /// Payload ended before the opcode's fields did.
+    Truncated { what: &'static str },
+    /// Opcode/tag outside the protocol.
+    UnknownOpcode { op: u8 },
+    /// Payload longer than the opcode's fields.
+    TrailingBytes { extra: usize },
+    /// A field decoded but its value is inconsistent.
+    BadValue { what: &'static str },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadMagic { got } => write!(f, "bad frame magic 0x{got:08x}"),
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::Truncated { what } => write!(f, "truncated {what}"),
+            ProtoError::UnknownOpcode { op } => write!(f, "unknown opcode 0x{op:02x}"),
+            ProtoError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after payload")
+            }
+            ProtoError::BadValue { what } => f.write_str(what),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One frame off the wire, not yet decoded past the header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    pub id: u64,
+    pub deadline_ms: u32,
+    pub op: u8,
+    pub payload: Vec<u8>,
+}
+
+/// Why [`read_frame`] stopped.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed cleanly between frames.
+    CleanEof,
+    /// The read timeout fired *between* frames: the peer is idle, not
+    /// misbehaving. Callers typically retry (it doubles as a periodic
+    /// drain-flag check).
+    IdleTimeout,
+    /// The bytes violated the protocol (magic/size); connection must
+    /// close after one typed error.
+    Proto(ProtoError),
+    /// Transport failure — includes read timeouts *inside* a frame (a
+    /// stalled peer mid-frame: the slow-loris case).
+    Io(std::io::Error),
+}
+
+impl FrameError {
+    /// Whether this is a read timeout (slow-loris / stalled peer).
+    pub fn is_stall(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Writes one frame. The payload is assembled first so the header's
+/// `len` is always consistent, then written in a single `write_all` —
+/// the writer side is never a source of torn frames.
+pub fn write_frame(
+    w: &mut impl Write,
+    id: u64,
+    deadline_ms: u32,
+    op: u8,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&id.to_le_bytes());
+    buf.extend_from_slice(&deadline_ms.to_le_bytes());
+    buf.push(op);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, distinguishing a clean EOF *between* frames (normal
+/// hangup) from a truncation *inside* one (a protocol violation).
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Frame, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: EOF here is a clean close and a timeout is
+    // mere idleness — only *inside* a frame do they become protocol or
+    // stall errors.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::CleanEof),
+            Ok(_) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(FrameError::IdleTimeout)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    if let Err(e) = r.read_exact(&mut header[1..]) {
+        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Proto(ProtoError::Truncated { what: "frame header" })
+        } else {
+            FrameError::Io(e)
+        });
+    }
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(FrameError::Proto(ProtoError::BadMagic { got: magic }));
+    }
+    let id = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let deadline_ms = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    let op = header[16];
+    let len = u32::from_le_bytes(header[17..21].try_into().unwrap());
+    if len > max_frame {
+        return Err(FrameError::Proto(ProtoError::FrameTooLarge { len, max: max_frame }));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(e) = r.read_exact(&mut payload) {
+        return Err(if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Proto(ProtoError::Truncated { what: "frame payload" })
+        } else {
+            FrameError::Io(e)
+        });
+    }
+    Ok(Frame { id, deadline_ms, op, payload })
+}
+
+/// Little-endian field cursor over a payload slice.
+struct Cur<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, off: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|&e| e <= self.b.len())
+            .ok_or(ProtoError::Truncated { what: "payload field" })?;
+        let s = &self.b[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        if self.off == self.b.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes { extra: self.b.len() - self.off })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let payload = req.encode_payload();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 7, 250, req.op(), &payload).unwrap();
+        let frame = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(frame.id, 7);
+        assert_eq!(frame.deadline_ms, 250);
+        assert_eq!(Request::decode(frame.op, &frame.payload).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::SpQuery { from: 3, to: 900 });
+        roundtrip_request(Request::SpBatch { pairs: vec![(0, 1), (5, 2), (7, 7)] });
+        roundtrip_request(Request::RiskExposure {
+            west: -98.0,
+            south: 27.0,
+            east: -88.0,
+            north: 31.5,
+        });
+        roundtrip_request(Request::Footprint { top_n: 11 });
+        roundtrip_request(Request::Sleep { ms: 40 });
+        roundtrip_request(Request::Panic);
+        roundtrip_request(Request::Stats);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let all = [
+            Response::Pong,
+            Response::Path { hops: 4, km: 1234.5 },
+            Response::NoRoute,
+            Response::Batch { routed: 10, unreachable: 2, total_km: 99.25 },
+            Response::Risk { paths: 1, cables: 2, metros: 3, ases: 4 },
+            Response::Footprint { rows: 11 },
+            Response::Slept,
+            Response::Stats {
+                n_metros: 40,
+                queue_depth: 3,
+                queue_capacity: 8,
+                busy_workers: 2,
+                draining: true,
+            },
+            Response::Error(ServeError::BadRequest { detail: "bad\nfield".into() }),
+            Response::Error(ServeError::Timeout { budget_ms: 250 }),
+            Response::Error(ServeError::Overloaded { queue_depth: 8 }),
+            Response::Error(ServeError::Internal { detail: "panicked".into() }),
+            Response::Error(ServeError::ShuttingDown),
+        ];
+        for resp in all {
+            let payload = resp.encode_payload();
+            assert_eq!(Response::decode(resp.tag(), &payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn bad_magic_oversize_truncation_and_trailing_are_typed() {
+        // Garbage magic.
+        let mut wire = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        wire.extend_from_slice(&[0u8; HEADER_LEN - 4]);
+        match read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::BadMagic { got })) => {
+                assert_eq!(got, 0xEFBEADDE)
+            }
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+
+        // Oversized claimed length: refused before allocation.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, 0, 0x01, &[]).unwrap();
+        wire[17..21].copy_from_slice(&(DEFAULT_MAX_FRAME + 1).to_le_bytes());
+        match read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::FrameTooLarge { len, .. })) => {
+                assert_eq!(len, DEFAULT_MAX_FRAME + 1)
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+
+        // Header truncated mid-way.
+        let wire = MAGIC.to_le_bytes();
+        match read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::Truncated { what })) => {
+                assert_eq!(what, "frame header")
+            }
+            other => panic!("expected Truncated header, got {other:?}"),
+        }
+
+        // Payload shorter than claimed.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, 1, 0, 0x02, &[0u8; 8]).unwrap();
+        wire.truncate(wire.len() - 3);
+        match read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME) {
+            Err(FrameError::Proto(ProtoError::Truncated { what })) => {
+                assert_eq!(what, "frame payload")
+            }
+            other => panic!("expected Truncated payload, got {other:?}"),
+        }
+
+        // Clean EOF between frames is not an error class.
+        match read_frame(&mut [].as_slice(), DEFAULT_MAX_FRAME) {
+            Err(FrameError::CleanEof) => {}
+            other => panic!("expected CleanEof, got {other:?}"),
+        }
+
+        // Trailing payload bytes are a desync signal.
+        let mut payload = Request::SpQuery { from: 1, to: 2 }.encode_payload();
+        payload.push(0);
+        assert_eq!(
+            Request::decode(0x02, &payload),
+            Err(ProtoError::TrailingBytes { extra: 1 })
+        );
+
+        // Unknown opcode.
+        assert_eq!(Request::decode(0x7F, &[]), Err(ProtoError::UnknownOpcode { op: 0x7F }));
+
+        // Batch count inconsistent with its bytes (never over-allocates).
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            Request::decode(0x03, &payload),
+            Err(ProtoError::BadValue { .. })
+        ));
+    }
+}
