@@ -1,0 +1,175 @@
+//! Delta apply vs full rebuild — the wall-clock case for incremental
+//! ingestion (DESIGN.md §16).
+//!
+//! Builds a base database, derives small churn deltas (a handful of
+//! records each — well under 1 % of the medium scenario), then times
+//! `Igdb::apply_delta` against a from-scratch `Igdb::try_build` of the
+//! same churned snapshot set. Both paths produce byte-identical databases
+//! (pinned by `tests/delta_determinism.rs`); this bin measures what the
+//! identity costs, one row per churn mix:
+//!
+//! * **feed churn** (atlas + logical) — the fast path: the clean prefix is
+//!   copied, the traceroute and IP-resolution stages are shared on
+//!   narrowed inputs, and routing reuses warm corridors.
+//! * **+ traceroute churn** — new measurements re-train bdrmap and
+//!   re-resolve every observed address, so IP resolution re-runs.
+//! * **road churn** — right-of-way edits invalidate the road graph and
+//!   its memoized corridors: the floor case, close to a full rebuild.
+//!
+//! While the first apply runs, a reader thread pinned to the old epoch
+//! keeps answering queries, and the bin verifies every one of those reads
+//! completed against epoch 0 — the publication protocol's whole point.
+//!
+//! ```text
+//! cargo run --release -p igdb-bench --bin delta_apply -- \
+//!     [--scale tiny|medium|paper] [--seed N] [--reps N] [--metrics FILE]
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use igdb_bench::Scale;
+use igdb_core::{BuildPolicy, EpochHandle, Igdb};
+use igdb_synth::{emit_snapshots, generate_delta, DeltaClass, World, WorldConfig};
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .map(|i| args[i + 1].parse().expect("numeric flag"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = Scale::parse(&args);
+    let seed = flag(&args, "--seed").unwrap_or(7);
+    let reps = flag(&args, "--reps").unwrap_or(3) as usize;
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
+
+    let cfg = match scale {
+        Scale::Tiny => WorldConfig::tiny(),
+        Scale::Medium => WorldConfig::medium(),
+        Scale::Paper => WorldConfig::paper(),
+    };
+    eprintln!("generating world ({scale:?})…");
+    let world = World::generate(cfg);
+    let snaps = emit_snapshots(&world, "2022-05-03", scale.mesh_pairs());
+
+    eprintln!("building base database…");
+    let policy = BuildPolicy::lenient();
+    let (base, _) = Igdb::try_build(&snaps, &policy).expect("base build");
+    let base = Arc::new(base);
+
+    let mixes: [(&str, &[DeltaClass]); 3] = [
+        (
+            "feed churn (atlas+logical)",
+            &[DeltaClass::AtlasChurn, DeltaClass::LogicalChurn],
+        ),
+        (
+            "+ traceroute churn",
+            &[
+                DeltaClass::AtlasChurn,
+                DeltaClass::TracerouteChurn,
+                DeltaClass::LogicalChurn,
+            ],
+        ),
+        ("road churn", &[DeltaClass::RoadChurn]),
+    ];
+
+    // Reader pinned to the old epoch: queries the world it pinned at
+    // request start for its whole lifetime, concurrent with the first
+    // mix's apply.
+    let epochs = Arc::new(EpochHandle::new_shared(Arc::clone(&base)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let old_epoch_reads = Arc::new(AtomicU64::new(0));
+    let reader = {
+        let (epochs, stop, reads, old_epoch_reads) = (
+            Arc::clone(&epochs),
+            Arc::clone(&stop),
+            Arc::clone(&reads),
+            Arc::clone(&old_epoch_reads),
+        );
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let epoch = epochs.current();
+                let rows = epoch.igdb.db.row_count("phys_conn").expect("phys_conn");
+                assert!(rows > 0, "a pinned epoch always answers in full");
+                reads.fetch_add(1, Ordering::Relaxed);
+                if epoch.number == 0 {
+                    old_epoch_reads.fetch_add(1, Ordering::Relaxed);
+                }
+                // A realistic request cadence, not a spin: the point is
+                // that reads land during the apply, not to starve it.
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        })
+    };
+
+    println!("== delta apply vs full rebuild ({scale:?}, seed {seed}, best of {reps}) ==");
+    println!(
+        "{:<28} {:>6} {:>12} {:>12} {:>9}",
+        "mix", "ops", "rebuild ms", "apply ms", "speedup"
+    );
+    for (mi, (name, classes)) in mixes.iter().enumerate() {
+        let (churned, ops) = generate_delta(&snaps, seed, classes);
+
+        let mut apply_ms = f64::MAX;
+        let mut next = None;
+        for rep in 0..reps {
+            let reg = igdb_core::igdb_obs::Registry::new();
+            let t = Instant::now();
+            let (igdb, _, _) = {
+                let _g = reg.install();
+                base.apply_delta(&churned, &policy).expect("apply")
+            };
+            apply_ms = apply_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            if mi == 0 && rep == 0 {
+                if let Some(path) = &metrics_out {
+                    std::fs::write(path, reg.json_lines(igdb_core::igdb_obs::JsonMode::Full))
+                        .expect("write metrics");
+                }
+            }
+            next = Some(igdb);
+        }
+        if mi == 0 {
+            // The first mix is the serving story: publish the new world
+            // and release the reader once its apply window is over.
+            let published = epochs.publish(next.take().expect("reps >= 1"));
+            stop.store(true, Ordering::Relaxed);
+            eprintln!(
+                "  epoch {published} published; {} of {} reads pinned epoch 0",
+                old_epoch_reads.load(Ordering::Relaxed),
+                reads.load(Ordering::Relaxed),
+            );
+        }
+
+        let mut rebuild_ms = f64::MAX;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let _ = Igdb::try_build(&churned, &policy).expect("rebuild");
+            rebuild_ms = rebuild_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        println!(
+            "{:<28} {:>6} {:>12.1} {:>12.1} {:>8.1}x",
+            name,
+            ops.len(),
+            rebuild_ms,
+            apply_ms,
+            rebuild_ms / apply_ms
+        );
+    }
+    reader.join().expect("reader thread");
+    println!(
+        "old-epoch reads   {:>10} of {} completed during the first apply",
+        old_epoch_reads.load(Ordering::Relaxed),
+        reads.load(Ordering::Relaxed),
+    );
+    assert!(
+        old_epoch_reads.load(Ordering::Relaxed) > 0,
+        "the apply window must have served reads from the pinned old epoch"
+    );
+}

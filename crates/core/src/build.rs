@@ -9,7 +9,7 @@
 //! prefixes), filling `ip_asn_dns`.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use igdb_db::{Database, Value};
 use igdb_fault::{BuildError, BuildPolicy, BuildReport, SourceId};
@@ -18,6 +18,7 @@ use igdb_net::{Asn, Ip4, Prefix};
 use igdb_synth::sources::{AtlasLink, AtlasNode, PdbFacility, RipeTraceroute, SnapshotSet};
 
 use crate::bdrmap::BdrMap;
+use crate::delta::{diff_snapshots, pair_diff_metros, pairs_removal_only, SnapshotDelta, Stage};
 use crate::hoiho::HoihoEngine;
 use crate::metros::MetroRegistry;
 use crate::roads::RoadGraph;
@@ -78,6 +79,7 @@ fn load_physical(
     atlas_links: &[AtlasLink],
     pdb_facilities: &[PdbFacility],
     date: &str,
+    replay_warm_hits: bool,
 ) -> (HashMap<String, usize>, HashMap<u32, usize>) {
     // Spatial joins are embarrassingly parallel; row insertion stays
     // serial and in input order so the loaded tables are byte-identical
@@ -164,6 +166,21 @@ fn load_physical(
         .filter(|&i| matches!(link_work[i].2, igdb_synth::sources::LinkType::Roadway))
         .collect();
     roadway_order.sort_by_key(|&i| link_work[i].0);
+    // A delta apply reuses the prior road graph with its memoized
+    // corridors; every attempted pair already settled there skips its
+    // engine query, so the `spath.queries` ticks a cold rebuild would
+    // emit are replayed after routing to keep the deterministic counter
+    // stream byte-identical. A fresh build's cache is cold and replays
+    // nothing.
+    let warm_hits = if replay_warm_hits {
+        let cached = roads.cached_route_keys();
+        roadway_order
+            .iter()
+            .filter(|&&i| cached.contains(&(link_work[i].0, link_work[i].1)))
+            .count() as u64
+    } else {
+        0
+    };
     let routing_span = igdb_obs::span("physical.routing");
     let mut routed: Vec<Option<(f64, Vec<igdb_geo::GeoPoint>)>> = vec![None; link_work.len()];
     for chunk in igdb_par::par_chunks(&roadway_order, |_, chunk| {
@@ -186,6 +203,9 @@ fn load_physical(
         }
     }
     drop(routing_span);
+    if warm_hits > 0 {
+        igdb_obs::counter("spath.queries", "", warm_hits);
+    }
     for (i, &(ka, kb, link_type)) in link_work.iter().enumerate() {
         let key = (ka, kb);
         // Right-of-way class decides the path model (paper §5): roadway
@@ -252,10 +272,18 @@ fn phys_pairs_for(db: &Database, date: &str) -> Vec<(usize, usize, f64)> {
 /// The built database plus the typed indices analyses use.
 pub struct Igdb {
     pub db: Database,
-    pub metros: MetroRegistry,
-    pub roads: RoadGraph,
-    pub bdrmap: BdrMap,
-    pub hoiho: HoihoEngine,
+    /// Shared: a delta apply whose metro catalogue is untouched reuses
+    /// the registry (and its spatial index) by reference.
+    pub metros: Arc<MetroRegistry>,
+    /// Shared: reusing the road graph keeps its memoized corridors warm
+    /// across a delta apply, so unchanged atlas links never re-route.
+    pub roads: Arc<RoadGraph>,
+    /// Shared: a delta apply whose IP-resolution inputs are untouched
+    /// (see [`crate::delta::IP_RESOLUTION_INPUTS`]) reuses the trained
+    /// border map by reference instead of re-refining it.
+    pub bdrmap: Arc<BdrMap>,
+    /// Shared on the same condition as `bdrmap`.
+    pub hoiho: Arc<HoihoEngine>,
     pub as_of_date: String,
     /// Per-address knowledge (mirrors `ip_asn_dns`).
     pub ip_info: HashMap<Ip4, IpInfo>,
@@ -277,6 +305,84 @@ pub struct Igdb {
     phys_graph: OnceLock<crate::analysis::physpath::PhysGraph>,
     /// Lazily-parsed `phys_conn` WKT geometries (all dates, row order).
     phys_geoms: OnceLock<Vec<Vec<GeoPoint>>>,
+    /// The validated record set this world was built from — the baseline
+    /// [`crate::delta::diff_snapshots`] diffs a replacement against.
+    snapshots: igdb_synth::sources::SnapshotSet,
+    /// Per-stage deterministic-counter deltas recorded while building.
+    /// A delta apply replays a clean stage's entry instead of re-running
+    /// the stage, keeping the counter stream byte-identical to a
+    /// from-scratch rebuild.
+    stage_ledger: Vec<Vec<(String, String, u64)>>,
+    /// Extra dated rows were appended via [`Igdb::append_snapshot`]; the
+    /// multi-date tables can no longer be copied verbatim by a delta
+    /// apply, so table reuse is clamped to the pre-physical stages.
+    appended: bool,
+}
+
+/// Deterministic counters as a map, for per-stage bracketing.
+fn counter_map(reg: &Option<igdb_obs::Registry>) -> BTreeMap<(String, String), u64> {
+    match reg {
+        Some(r) => r
+            .counters()
+            .into_iter()
+            .map(|(n, l, v)| ((n, l), v))
+            .collect(),
+        None => BTreeMap::new(),
+    }
+}
+
+/// Brackets each pipeline stage, recording the deterministic-counter
+/// delta it emitted (perf-class metrics are excluded by construction).
+///
+/// When no registry is installed, a private one is installed for the
+/// build's duration: emissions were unobservable anyway, and the ledger
+/// must exist regardless so a later [`Igdb::apply_delta`] can replay
+/// clean stages under whatever registry *it* runs in.
+struct LedgerRecorder {
+    reg: Option<igdb_obs::Registry>,
+    before: BTreeMap<(String, String), u64>,
+    ledger: Vec<Vec<(String, String, u64)>>,
+    /// Keeps the private registry installed for the recorder's lifetime.
+    _shadow: Option<igdb_obs::Installed>,
+}
+
+impl LedgerRecorder {
+    fn start() -> Self {
+        let (reg, shadow) = match igdb_obs::current() {
+            Some(r) => (Some(r), None),
+            None => {
+                let r = igdb_obs::Registry::new();
+                let guard = r.install();
+                (Some(r), Some(guard))
+            }
+        };
+        let before = counter_map(&reg);
+        Self {
+            reg,
+            before,
+            ledger: Vec::new(),
+            _shadow: shadow,
+        }
+    }
+
+    /// Closes the current stage: everything emitted since the previous
+    /// cut becomes this stage's ledger entry.
+    fn cut(&mut self) {
+        let now = counter_map(&self.reg);
+        let entry = now
+            .iter()
+            .filter_map(|((n, l), v)| {
+                let base = self
+                    .before
+                    .get(&(n.clone(), l.clone()))
+                    .copied()
+                    .unwrap_or(0);
+                (*v > base).then(|| (n.clone(), l.clone(), *v - base))
+            })
+            .collect();
+        self.before = now;
+        self.ledger.push(entry);
+    }
 }
 
 impl Igdb {
@@ -311,6 +417,16 @@ impl Igdb {
         policy: &BuildPolicy,
     ) -> Result<(Igdb, BuildReport), BuildError> {
         let _span = igdb_obs::span("pipeline");
+        let (clean, report) = Self::screen(snaps, policy)?;
+        Ok((Self::build_validated(&clean), report))
+    }
+
+    /// Validation + the two accounting cross-checks shared by
+    /// [`Igdb::try_build`] and [`Igdb::apply_delta`].
+    fn screen<'a>(
+        snaps: &'a SnapshotSet,
+        policy: &BuildPolicy,
+    ) -> Result<(CleanSnapshots<'a>, BuildReport), BuildError> {
         // The ingestion counters accumulate across builds sharing one
         // registry, so the report cross-check compares per-source *deltas*
         // against a baseline captured before validation runs.
@@ -359,22 +475,93 @@ impl Igdb {
                 }
             }
         }
-        Ok((Self::build_validated(&clean), report))
+        Ok((clean, report))
     }
 
     /// The build proper. Assumes `snaps` passed validation: endpoints in
     /// range, parallel arrays aligned, coordinates finite, ids unique.
     fn build_validated(snaps: &CleanSnapshots<'_>) -> Self {
+        Self::build_staged(snaps, None)
+    }
+
+    /// Replays one stage's recorded deterministic-counter deltas.
+    fn replay_stage(ledger: &[Vec<(String, String, u64)>], stage: Stage) {
+        for (name, label, v) in &ledger[stage as usize] {
+            igdb_obs::counter(name.clone(), label.clone(), *v);
+        }
+    }
+
+    /// Copies `names` verbatim from `src` into `dst` (clean-prefix reuse).
+    fn copy_tables(dst: &Database, src: &Database, names: &[&str]) {
+        for name in names {
+            let table = src.with_table(name, |t| t.clone()).expect("table exists");
+            dst.replace_table(name, table);
+        }
+    }
+
+    /// One staged pipeline pass. With `reuse = None` this is the plain
+    /// full build. With `reuse = Some((prior, delta))` it is the
+    /// incremental path: every stage strictly before `delta.first_dirty`
+    /// is *clean* — its tables are copied from `prior` verbatim and its
+    /// recorded counter deltas replayed — while the dirty suffix re-runs
+    /// exactly the code a full build would run, on the same inputs, so
+    /// the result is byte-identical to a from-scratch rebuild.
+    ///
+    /// Stage dirtiness is monotone (see [`crate::delta`]): each stage
+    /// reads what earlier ones wrote, so the clean stages always form a
+    /// prefix. The one exception to strict prefix reuse is the final
+    /// IP-resolution stage: its true input set is narrower than "every
+    /// stage before it" ([`crate::delta::IP_RESOLUTION_INPUTS`]), so when
+    /// the diff proves those sources untouched the stage is shared from
+    /// the prior even though earlier stages were dirty.
+    fn build_staged(snaps: &CleanSnapshots<'_>, reuse: Option<(&Igdb, &SnapshotDelta)>) -> Self {
         let _span = igdb_obs::span("build");
         let date = snaps.as_of_date.to_string();
-        let metros = {
+        let prior = reuse.map(|(p, _)| p);
+        let first_dirty = match reuse {
+            Some((_, d)) => d.first_dirty,
+            None => Some(Stage::Metros),
+        };
+        let is_clean =
+            |s: Stage| prior.is_some() && first_dirty.map_or(true, |fd| s < fd);
+        let mut rec = LedgerRecorder::start();
+
+        let metros: Arc<MetroRegistry> = {
             let _s = igdb_obs::span("build.metros");
-            MetroRegistry::build(&snaps.natural_earth)
+            if is_clean(Stage::Metros) {
+                let p = prior.expect("clean implies prior");
+                Self::replay_stage(&p.stage_ledger, Stage::Metros);
+                Arc::clone(&p.metros)
+            } else if let Some((p, _)) = reuse.filter(|(_, d)| d.metro_append_only) {
+                // Append-only metro growth: the old places are a prefix
+                // of the new, so ids are stable and extending the
+                // registry (R-tree inserts) answers every spatial join
+                // identically to a rebuilt one.
+                Arc::new(p.metros.extended(&snaps.natural_earth[p.snapshots.natural_earth.len()..]))
+            } else {
+                Arc::new(MetroRegistry::build(&snaps.natural_earth))
+            }
         };
-        let roads = {
+        // Thiessen cells materialize lazily, and whether that fires later
+        // depends on cache warmth: a delta apply sharing a warm registry
+        // would skip the compute ticks a cold rebuild emits, tearing the
+        // deterministic counter stream. Forcing them here pins the ticks
+        // inside the Metros cut — a clean stage replays them, a dirty one
+        // recomputes them — and wastes nothing: `city_polygons` needs
+        // every cell anyway.
+        metros.polygons();
+        rec.cut();
+        let roads: Arc<RoadGraph> = {
             let _s = igdb_obs::span("build.roads");
-            RoadGraph::build(metros.len(), &snaps.roads)
+            if is_clean(Stage::Roads) {
+                let p = prior.expect("clean implies prior");
+                Self::replay_stage(&p.stage_ledger, Stage::Roads);
+                Arc::clone(&p.roads)
+            } else {
+                Arc::new(RoadGraph::build(metros.len(), &snaps.roads))
+            }
         };
+        rec.cut();
         let db = Database::new();
         for (name, sch) in schema::all_relations() {
             db.create_table(name, sch).expect("fresh database");
@@ -382,45 +569,52 @@ impl Igdb {
 
         // --- city_points / city_polygons. ---
         let city_span = igdb_obs::span("build.city_tables");
-        for m in metros.metros() {
-            db.insert(
-                "city_points",
-                vec![
-                    Value::from(m.id),
-                    Value::text(&m.name),
-                    Value::text(&m.state),
-                    Value::text(&m.country),
-                    Value::Float(m.loc.lat),
-                    Value::Float(m.loc.lon),
-                    Value::from(m.population as i64),
-                    Value::text("natural_earth"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("city_points row");
-        }
-        for (m, poly) in metros.metros().iter().zip(metros.polygons()) {
-            let wkt = if poly.exterior.is_empty() {
-                "POLYGON EMPTY".to_string()
-            } else {
-                to_wkt(&Geometry::Polygon(poly.clone()))
-            };
-            db.insert(
-                "city_polygons",
-                vec![
-                    Value::from(m.id),
-                    Value::text(&m.name),
-                    Value::text(&m.state),
-                    Value::text(&m.country),
-                    Value::text(wkt),
-                    Value::text("igdb_thiessen"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("city_polygons row");
+        if is_clean(Stage::CityTables) {
+            let p = prior.expect("clean implies prior");
+            Self::copy_tables(&db, &p.db, Stage::CityTables.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::CityTables);
+        } else {
+            for m in metros.metros() {
+                db.insert(
+                    "city_points",
+                    vec![
+                        Value::from(m.id),
+                        Value::text(&m.name),
+                        Value::text(&m.state),
+                        Value::text(&m.country),
+                        Value::Float(m.loc.lat),
+                        Value::Float(m.loc.lon),
+                        Value::from(m.population as i64),
+                        Value::text("natural_earth"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("city_points row");
+            }
+            for (m, poly) in metros.metros().iter().zip(metros.polygons()) {
+                let wkt = if poly.exterior.is_empty() {
+                    "POLYGON EMPTY".to_string()
+                } else {
+                    to_wkt(&Geometry::Polygon(poly.clone()))
+                };
+                db.insert(
+                    "city_polygons",
+                    vec![
+                        Value::from(m.id),
+                        Value::text(&m.name),
+                        Value::text(&m.state),
+                        Value::text(&m.country),
+                        Value::text(wkt),
+                        Value::text("igdb_thiessen"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("city_polygons row");
+            }
         }
 
         drop(city_span);
+        rec.cut();
 
         // Label resolver for sources that publish only text locations.
         let name_to_metro: HashMap<String, usize> = metros
@@ -443,15 +637,34 @@ impl Igdb {
         };
 
         // --- phys_nodes / phys_conn (shared with snapshot refresh). ---
-        let (_atlas_node_metro, fac_metro) = load_physical(
-            &db,
-            &metros,
-            &roads,
-            &snaps.atlas_nodes,
-            &snaps.atlas_links,
-            &snaps.pdb_facilities,
-            &date,
-        );
+        let fac_metro: HashMap<u32, usize> = if is_clean(Stage::Physical) {
+            let p = prior.expect("clean implies prior");
+            Self::copy_tables(&db, &p.db, Stage::Physical.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::Physical);
+            // The facility→metro join is pure (exact nearest-site
+            // queries), so recomputing it for the later stages that need
+            // it cannot diverge from the copied rows. Serial on purpose:
+            // `igdb_par` ticks deterministic `par.*` counters, and this
+            // stage's ledger replay already accounts the originals.
+            snaps
+                .pdb_facilities
+                .iter()
+                .filter_map(|f| metros.metro_of(&f.loc).map(|m| (f.fac_id, m)))
+                .collect()
+        } else {
+            let (_atlas_node_metro, fac_metro) = load_physical(
+                &db,
+                &metros,
+                &roads,
+                &snaps.atlas_nodes,
+                &snaps.atlas_links,
+                &snaps.pdb_facilities,
+                &date,
+                true,
+            );
+            fac_metro
+        };
+        rec.cut();
 
         let phys_pairs = phys_pairs_for(&db, &date);
 
@@ -459,134 +672,64 @@ impl Igdb {
         // Landing-point spatial joins fan out in parallel; inserts stay
         // serial and in input order (see load_physical).
         let telegeo_span = igdb_obs::span("build.telegeo");
-        let landing_locs: Vec<&igdb_geo::GeoPoint> = snaps
-            .telegeo
-            .iter()
-            .flat_map(|c| c.landings.iter().map(|(_, _, loc)| loc))
-            .collect();
-        let landing_assignments = igdb_par::par_map(&landing_locs, |loc| metros.metro_of(loc));
-        let mut landing_iter = landing_assignments.into_iter();
-        for c in snaps.telegeo.iter() {
-            for (lname, _, loc) in &c.landings {
-                let Some(mid) = landing_iter.next().expect("one assignment per landing") else {
-                    continue;
-                };
+        if is_clean(Stage::Telegeo) {
+            let p = prior.expect("clean implies prior");
+            Self::copy_tables(&db, &p.db, Stage::Telegeo.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::Telegeo);
+        } else {
+            let landing_locs: Vec<&igdb_geo::GeoPoint> = snaps
+                .telegeo
+                .iter()
+                .flat_map(|c| c.landings.iter().map(|(_, _, loc)| loc))
+                .collect();
+            let landing_assignments = igdb_par::par_map(&landing_locs, |loc| metros.metro_of(loc));
+            let mut landing_iter = landing_assignments.into_iter();
+            for c in snaps.telegeo.iter() {
+                for (lname, _, loc) in &c.landings {
+                    let Some(mid) = landing_iter.next().expect("one assignment per landing")
+                    else {
+                        continue;
+                    };
+                    db.insert(
+                        "land_points",
+                        vec![
+                            Value::from(c.cable_id),
+                            Value::text(lname),
+                            Value::from(mid),
+                            Value::text(metros.metro(mid).label()),
+                            Value::text(&metros.metro(mid).country),
+                            Value::Float(loc.lat),
+                            Value::Float(loc.lon),
+                            Value::text("telegeography"),
+                            Value::text(&date),
+                        ],
+                    )
+                    .expect("land_points row");
+                }
+                let mls = MultiLineString::new(
+                    c.segments.iter().cloned().map(LineString::new).collect(),
+                );
                 db.insert(
-                    "land_points",
+                    "sub_cables",
                     vec![
                         Value::from(c.cable_id),
-                        Value::text(lname),
-                        Value::from(mid),
-                        Value::text(metros.metro(mid).label()),
-                        Value::text(&metros.metro(mid).country),
-                        Value::Float(loc.lat),
-                        Value::Float(loc.lon),
+                        Value::text(&c.name),
+                        Value::text(c.owners.join("; ")),
+                        Value::Float(mls.length_km()),
+                        Value::text(to_wkt(&Geometry::MultiLineString(mls))),
                         Value::text("telegeography"),
                         Value::text(&date),
                     ],
                 )
-                .expect("land_points row");
+                .expect("sub_cables row");
             }
-            let mls = MultiLineString::new(
-                c.segments.iter().cloned().map(LineString::new).collect(),
-            );
-            db.insert(
-                "sub_cables",
-                vec![
-                    Value::from(c.cable_id),
-                    Value::text(&c.name),
-                    Value::text(c.owners.join("; ")),
-                    Value::Float(mls.length_km()),
-                    Value::text(to_wkt(&Geometry::MultiLineString(mls))),
-                    Value::text("telegeography"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("sub_cables row");
         }
 
         drop(telegeo_span);
+        rec.cut();
 
         // --- Logical names: asn_name / asn_org (inconsistencies kept). ---
         let logical_span = igdb_obs::span("build.logical");
-        for e in snaps.asrank_entries.iter() {
-            db.insert(
-                "asn_name",
-                vec![
-                    Value::from(e.asn.0),
-                    Value::text(&e.as_name),
-                    Value::text("asrank"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_name row");
-            db.insert(
-                "asn_org",
-                vec![
-                    Value::from(e.asn.0),
-                    Value::text(&e.org),
-                    Value::text("asrank"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_org row");
-        }
-        for n in snaps.pdb_networks.iter() {
-            db.insert(
-                "asn_name",
-                vec![
-                    Value::from(n.asn.0),
-                    Value::text(&n.as_name),
-                    Value::text("peeringdb"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_name row");
-            db.insert(
-                "asn_org",
-                vec![
-                    Value::from(n.asn.0),
-                    Value::text(&n.org),
-                    Value::text("peeringdb"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_org row");
-        }
-        let mut pch_orgs: BTreeSet<(u32, String)> = BTreeSet::new();
-        for x in snaps.pch_ixps.iter() {
-            for (asn, org) in x.member_asns.iter().zip(&x.member_orgs) {
-                pch_orgs.insert((asn.0, org.clone()));
-            }
-        }
-        for (asn, org) in pch_orgs {
-            db.insert(
-                "asn_org",
-                vec![
-                    Value::from(asn),
-                    Value::text(org),
-                    Value::text("pch"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_org row");
-        }
-
-        // --- asn_conn. ---
-        for &(a, b) in snaps.asrank_links.iter() {
-            db.insert(
-                "asn_conn",
-                vec![
-                    Value::from(a.0),
-                    Value::from(b.0),
-                    Value::text("asrank"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_conn row");
-        }
-
-        // --- IXPs: prefixes + memberships. ---
         let net_asn: HashMap<u32, Asn> = snaps
             .pdb_networks
             .iter()
@@ -595,261 +738,420 @@ impl Igdb {
         let mut ixp_metro: HashMap<u32, usize> = HashMap::new();
         let mut ixp_lans: Vec<Prefix> = Vec::new();
         let mut ixp_prefix_metro: Vec<(Prefix, usize)> = Vec::new();
-        for ix in snaps.pdb_ix.iter() {
-            let Some(mid) = resolve_label(&ix.city_label) else {
-                continue;
-            };
-            ixp_metro.insert(ix.ix_id, mid);
-            ixp_lans.push(ix.prefix);
-            ixp_prefix_metro.push((ix.prefix, mid));
-            db.insert(
-                "ixp_prefixes",
-                vec![
-                    Value::text(&ix.name),
-                    Value::text(ix.prefix.to_string()),
-                    Value::from(mid),
-                    Value::text(metros.metro(mid).label()),
-                    Value::text("peeringdb"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("ixp_prefixes row");
+        if is_clean(Stage::Logical) {
+            let p = prior.expect("clean implies prior");
+            Self::copy_tables(&db, &p.db, Stage::Logical.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::Logical);
+            // The IXP maps are pure label-resolution products; rebuild
+            // them without touching the copied tables.
+            for ix in snaps.pdb_ix.iter() {
+                let Some(mid) = resolve_label(&ix.city_label) else {
+                    continue;
+                };
+                ixp_metro.insert(ix.ix_id, mid);
+                ixp_lans.push(ix.prefix);
+                ixp_prefix_metro.push((ix.prefix, mid));
+            }
+        } else {
+            for e in snaps.asrank_entries.iter() {
+                db.insert(
+                    "asn_name",
+                    vec![
+                        Value::from(e.asn.0),
+                        Value::text(&e.as_name),
+                        Value::text("asrank"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_name row");
+                db.insert(
+                    "asn_org",
+                    vec![
+                        Value::from(e.asn.0),
+                        Value::text(&e.org),
+                        Value::text("asrank"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_org row");
+            }
+            for n in snaps.pdb_networks.iter() {
+                db.insert(
+                    "asn_name",
+                    vec![
+                        Value::from(n.asn.0),
+                        Value::text(&n.as_name),
+                        Value::text("peeringdb"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_name row");
+                db.insert(
+                    "asn_org",
+                    vec![
+                        Value::from(n.asn.0),
+                        Value::text(&n.org),
+                        Value::text("peeringdb"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_org row");
+            }
+            let mut pch_orgs: BTreeSet<(u32, String)> = BTreeSet::new();
+            for x in snaps.pch_ixps.iter() {
+                for (asn, org) in x.member_asns.iter().zip(&x.member_orgs) {
+                    pch_orgs.insert((asn.0, org.clone()));
+                }
+            }
+            for (asn, org) in pch_orgs {
+                db.insert(
+                    "asn_org",
+                    vec![
+                        Value::from(asn),
+                        Value::text(org),
+                        Value::text("pch"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_org row");
+            }
+
+            // --- asn_conn. ---
+            for &(a, b) in snaps.asrank_links.iter() {
+                db.insert(
+                    "asn_conn",
+                    vec![
+                        Value::from(a.0),
+                        Value::from(b.0),
+                        Value::text("asrank"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_conn row");
+            }
+
+            // --- IXPs: prefixes + memberships. ---
+            for ix in snaps.pdb_ix.iter() {
+                let Some(mid) = resolve_label(&ix.city_label) else {
+                    continue;
+                };
+                ixp_metro.insert(ix.ix_id, mid);
+                ixp_lans.push(ix.prefix);
+                ixp_prefix_metro.push((ix.prefix, mid));
+                db.insert(
+                    "ixp_prefixes",
+                    vec![
+                        Value::text(&ix.name),
+                        Value::text(ix.prefix.to_string()),
+                        Value::from(mid),
+                        Value::text(metros.metro(mid).label()),
+                        Value::text("peeringdb"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("ixp_prefixes row");
+            }
         }
 
         drop(logical_span);
+        rec.cut();
 
         // --- asn_loc: facilities, IXP memberships, PCH/EuroIX echoes. ---
         // (asn, metro, source) → remote flag, deduped.
         let asn_loc_span = igdb_obs::span("build.asn_loc");
-        let mut netfac_metros: HashMap<Asn, BTreeSet<usize>> = HashMap::new();
-        for nf in snaps.pdb_netfac.iter() {
-            let (Some(&asn), Some(&mid)) = (net_asn.get(&nf.net_id), fac_metro.get(&nf.fac_id))
-            else {
-                continue;
-            };
-            netfac_metros.entry(asn).or_default().insert(mid);
-        }
-        let mut asn_loc_rows: BTreeMap<(u32, usize, &'static str), bool> = BTreeMap::new();
-        for (&asn, mids) in &netfac_metros {
-            for &mid in mids {
-                asn_loc_rows.insert((asn.0, mid, "peeringdb_fac"), false);
+        let asn_metros: HashMap<Asn, BTreeSet<usize>> = if is_clean(Stage::AsnLoc) {
+            let p = prior.expect("clean implies prior");
+            Self::copy_tables(&db, &p.db, Stage::AsnLoc.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::AsnLoc);
+            p.asn_metros.clone()
+        } else {
+            let mut netfac_metros: HashMap<Asn, BTreeSet<usize>> = HashMap::new();
+            for nf in snaps.pdb_netfac.iter() {
+                let (Some(&asn), Some(&mid)) =
+                    (net_asn.get(&nf.net_id), fac_metro.get(&nf.fac_id))
+                else {
+                    continue;
+                };
+                netfac_metros.entry(asn).or_default().insert(mid);
             }
-        }
-        // Remote-peering inference (§3.3): an IX member with no declared
-        // facility in the metro, whose nearest declared facility is far.
-        let is_remote = |asn: Asn, mid: usize| -> bool {
-            match netfac_metros.get(&asn) {
-                Some(mids) if mids.contains(&mid) => false,
-                Some(mids) => {
-                    let here = metros.metro(mid).loc;
-                    let nearest = mids
-                        .iter()
-                        .map(|&m| igdb_geo::haversine_km(&here, &metros.metro(m).loc))
-                        .fold(f64::INFINITY, f64::min);
-                    nearest > 1000.0
+            let mut asn_loc_rows: BTreeMap<(u32, usize, &'static str), bool> = BTreeMap::new();
+            for (&asn, mids) in &netfac_metros {
+                for &mid in mids {
+                    asn_loc_rows.insert((asn.0, mid, "peeringdb_fac"), false);
                 }
-                None => false, // nothing declared anywhere: cannot say
             }
-        };
-        for nix in snaps.pdb_netix.iter() {
-            let (Some(&asn), Some(&mid)) = (net_asn.get(&nix.net_id), ixp_metro.get(&nix.ix_id))
-            else {
-                continue;
+            // Remote-peering inference (§3.3): an IX member with no declared
+            // facility in the metro, whose nearest declared facility is far.
+            let is_remote = |asn: Asn, mid: usize| -> bool {
+                match netfac_metros.get(&asn) {
+                    Some(mids) if mids.contains(&mid) => false,
+                    Some(mids) => {
+                        let here = metros.metro(mid).loc;
+                        let nearest = mids
+                            .iter()
+                            .map(|&m| igdb_geo::haversine_km(&here, &metros.metro(m).loc))
+                            .fold(f64::INFINITY, f64::min);
+                        nearest > 1000.0
+                    }
+                    None => false, // nothing declared anywhere: cannot say
+                }
             };
-            let remote = is_remote(asn, mid);
-            asn_loc_rows
-                .entry((asn.0, mid, "peeringdb_ix"))
-                .and_modify(|r| *r = *r && remote)
-                .or_insert(remote);
-        }
-        for x in snaps.pch_ixps.iter() {
-            let Some(mid) = resolve_label(&x.city_label) else {
-                continue;
-            };
-            for &asn in &x.member_asns {
+            for nix in snaps.pdb_netix.iter() {
+                let (Some(&asn), Some(&mid)) =
+                    (net_asn.get(&nix.net_id), ixp_metro.get(&nix.ix_id))
+                else {
+                    continue;
+                };
                 let remote = is_remote(asn, mid);
                 asn_loc_rows
-                    .entry((asn.0, mid, "pch"))
+                    .entry((asn.0, mid, "peeringdb_ix"))
                     .and_modify(|r| *r = *r && remote)
                     .or_insert(remote);
             }
-        }
-        for ((asn, mid, source), remote) in &asn_loc_rows {
-            db.insert(
-                "asn_loc",
-                vec![
-                    Value::from(*asn),
-                    Value::from(*mid),
-                    Value::text(metros.metro(*mid).label()),
-                    Value::text(&metros.metro(*mid).country),
-                    Value::Bool(*remote),
-                    Value::Bool(false),
-                    Value::text(*source),
-                    Value::text(&date),
-                ],
-            )
-            .expect("asn_loc row");
-        }
-        let mut asn_metros: HashMap<Asn, BTreeSet<usize>> = HashMap::new();
-        for (asn, mid, _) in asn_loc_rows.keys() {
-            asn_metros.entry(Asn(*asn)).or_default().insert(*mid);
-        }
+            for x in snaps.pch_ixps.iter() {
+                let Some(mid) = resolve_label(&x.city_label) else {
+                    continue;
+                };
+                for &asn in &x.member_asns {
+                    let remote = is_remote(asn, mid);
+                    asn_loc_rows
+                        .entry((asn.0, mid, "pch"))
+                        .and_modify(|r| *r = *r && remote)
+                        .or_insert(remote);
+                }
+            }
+            for ((asn, mid, source), remote) in &asn_loc_rows {
+                db.insert(
+                    "asn_loc",
+                    vec![
+                        Value::from(*asn),
+                        Value::from(*mid),
+                        Value::text(metros.metro(*mid).label()),
+                        Value::text(&metros.metro(*mid).country),
+                        Value::Bool(*remote),
+                        Value::Bool(false),
+                        Value::text(*source),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("asn_loc row");
+            }
+            let mut asn_metros: HashMap<Asn, BTreeSet<usize>> = HashMap::new();
+            for (asn, mid, _) in asn_loc_rows.keys() {
+                asn_metros.entry(Asn(*asn)).or_default().insert(*mid);
+            }
+            asn_metros
+        };
 
         drop(asn_loc_span);
+        rec.cut();
 
         // --- Probes + traceroute relation. ---
         // Anchor spatial joins fan out in parallel; inserts stay serial
         // and in input order (see load_physical).
         let probes_span = igdb_obs::span("build.probes");
-        let anchor_assignments =
-            igdb_par::par_map(&snaps.ripe_anchors[..], |a| metros.metro_of(&a.loc));
-        let mut probes = HashMap::new();
-        for (a, mid) in snaps.ripe_anchors.iter().zip(anchor_assignments) {
-            let Some(mid) = mid else {
-                continue;
-            };
-            probes.insert(
-                a.id,
-                ProbeInfo {
-                    ip: a.ip,
-                    asn: a.asn,
-                    metro: mid,
-                },
-            );
-            db.insert(
-                "probes",
-                vec![
-                    Value::from(a.id),
-                    Value::text(a.ip.to_string()),
-                    Value::from(a.asn.0),
-                    Value::from(mid),
-                    Value::text(metros.metro(mid).label()),
-                    Value::Float(a.loc.lat),
-                    Value::Float(a.loc.lon),
-                    Value::text("ripe_atlas"),
-                    Value::text(&date),
-                ],
-            )
-            .expect("probes row");
-        }
-        drop(probes_span);
-        let traces_span = igdb_obs::span("build.traceroutes");
-        for tr in snaps.ripe_traceroutes.iter() {
-            for h in &tr.hops {
+        let probes: HashMap<u32, ProbeInfo> = if is_clean(Stage::Probes) {
+            let p = prior.expect("clean implies prior");
+            Self::copy_tables(&db, &p.db, Stage::Probes.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::Probes);
+            p.probes.clone()
+        } else {
+            let anchor_assignments =
+                igdb_par::par_map(&snaps.ripe_anchors[..], |a| metros.metro_of(&a.loc));
+            let mut probes = HashMap::new();
+            for (a, mid) in snaps.ripe_anchors.iter().zip(anchor_assignments) {
+                let Some(mid) = mid else {
+                    continue;
+                };
+                probes.insert(
+                    a.id,
+                    ProbeInfo {
+                        ip: a.ip,
+                        asn: a.asn,
+                        metro: mid,
+                    },
+                );
                 db.insert(
-                    "traceroutes",
+                    "probes",
                     vec![
-                        Value::from(tr.src_anchor),
-                        Value::from(tr.dst_anchor),
-                        Value::from(h.ttl as i64),
-                        match h.ip {
-                            Some(ip) => Value::text(ip.to_string()),
-                            None => Value::Null,
-                        },
-                        Value::Float(h.rtt_ms),
+                        Value::from(a.id),
+                        Value::text(a.ip.to_string()),
+                        Value::from(a.asn.0),
+                        Value::from(mid),
+                        Value::text(metros.metro(mid).label()),
+                        Value::Float(a.loc.lat),
+                        Value::Float(a.loc.lon),
                         Value::text("ripe_atlas"),
                         Value::text(&date),
                     ],
                 )
-                .expect("traceroutes row");
+                .expect("probes row");
+            }
+            probes
+        };
+        drop(probes_span);
+        rec.cut();
+        let traces_span = igdb_obs::span("build.traceroutes");
+        // Shared on narrowed inputs like IP resolution below: the hop
+        // relation reads only `ripe_traceroutes` and the date, yet sits
+        // deep enough that any atlas or logical churn dirties it by
+        // prefix. Re-inserting tens of thousands of identical rows is the
+        // costliest table load in the suffix, so the copy is worth a flag.
+        let traces_shared =
+            is_clean(Stage::Traceroutes) || reuse.is_some_and(|(_, d)| d.traceroute_rows_clean);
+        if traces_shared {
+            let p = prior.expect("shared implies prior");
+            Self::copy_tables(&db, &p.db, Stage::Traceroutes.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::Traceroutes);
+        } else {
+            for tr in snaps.ripe_traceroutes.iter() {
+                for h in &tr.hops {
+                    db.insert(
+                        "traceroutes",
+                        vec![
+                            Value::from(tr.src_anchor),
+                            Value::from(tr.dst_anchor),
+                            Value::from(h.ttl as i64),
+                            match h.ip {
+                                Some(ip) => Value::text(ip.to_string()),
+                                None => Value::Null,
+                            },
+                            Value::Float(h.rtt_ms),
+                            Value::text("ripe_atlas"),
+                            Value::text(&date),
+                        ],
+                    )
+                    .expect("traceroutes row");
+                }
             }
         }
 
         drop(traces_span);
+        rec.cut();
 
         // --- IP → AS (bdrmap), → FQDN (rDNS), → metro (Hoiho / IXP). ---
+        // The stage sits last, so monotone prefix dirtiness alone would
+        // re-run it for every non-empty delta — but its input set is
+        // narrower than "everything before it": atlas, facility, road,
+        // telegeo, and AS-Rank churn cannot change a single `ip_asn_dns`
+        // row (see `IP_RESOLUTION_INPUTS`). When the diff proves those
+        // inputs untouched, the prior's products are shared and its
+        // counter ticks replayed; otherwise the stage re-runs in full and,
+        // on identical inputs, reproduces identical rows and counters.
         let ip_span = igdb_obs::span("build.ip_resolution");
-        let rib: Vec<(Prefix, Asn)> = snaps
-            .bgp_prefixes
-            .iter()
-            .map(|r| (r.prefix, r.origin))
-            .collect();
-        let mut bdrmap = BdrMap::new(&rib, &ixp_lans);
-        let ip_sequences: Vec<Vec<Ip4>> = snaps
-            .ripe_traceroutes
-            .iter()
-            .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
-            .collect();
-        bdrmap.refine(&ip_sequences);
-
-        let rdns: HashMap<Ip4, String> = snaps
-            .rdns
-            .iter()
-            .map(|r| (r.ip, r.hostname.clone()))
-            .collect();
-        let (hoiho, _skipped) = HoihoEngine::build(&snaps.hoiho_rules, &snaps.geo_codes, &metros);
-
-        let mut observed: BTreeSet<Ip4> = BTreeSet::new();
-        for seq in &ip_sequences {
-            observed.extend(seq.iter().copied());
-        }
-        // Per-address resolution (bdrmap LPM, rDNS, anycast scan, IXP
-        // prefix scan, Hoiho geolocation) is read-only against the built
-        // indexes and fans out in parallel; row insertion stays serial in
-        // sorted-address order so `ip_asn_dns` is byte-identical at any
-        // worker count.
-        let observed: Vec<Ip4> = observed.into_iter().collect();
-        igdb_obs::counter("build.observed_ips", "", observed.len() as u64);
-        let resolved = igdb_par::par_map(&observed, |&ip| {
-            let asn = bdrmap.resolve(ip).asn();
-            let fqdn = rdns.get(&ip).cloned();
-            let anycast = snaps.anycast_prefixes.iter().any(|p| p.contains(ip));
-            let ixp_hit = ixp_prefix_metro
-                .iter()
-                .find(|(p, _)| p.contains(ip))
-                .map(|&(_, m)| m);
-            let (metro, geo_source) = if let Some(mid) = ixp_hit {
-                (Some(mid), Some(LocationSource::IxpPrefix))
-            } else if anycast {
-                // An anycast address has no single location; per §5 it is
-                // annotated instead of pinned (Hoiho would see just one of
-                // its instances).
-                (None, None)
-            } else if let Some(h) = fqdn.as_deref() {
-                match hoiho.geolocate(h) {
-                    Some(m) => (Some(m), Some(LocationSource::Hoiho)),
-                    None => (None, None),
-                }
-            } else {
-                (None, None)
-            };
-            (asn, fqdn, anycast, metro, geo_source)
-        });
-        let mut ip_info: HashMap<Ip4, IpInfo> = HashMap::new();
-        for (&ip, (asn, fqdn, anycast, metro, geo_source)) in observed.iter().zip(resolved) {
-            if let Some(g) = geo_source {
-                igdb_obs::counter("build.ip_geolocated", g.tag(), 1);
-            }
-            db.insert(
-                "ip_asn_dns",
-                vec![
-                    Value::text(ip.to_string()),
-                    asn.map(|a| Value::from(a.0)).unwrap_or(Value::Null),
-                    fqdn.clone().map(Value::Text).unwrap_or(Value::Null),
-                    metro.map(Value::from).unwrap_or(Value::Null),
-                    metro
-                        .map(|m| Value::text(metros.metro(m).label()))
-                        .unwrap_or(Value::Null),
-                    Value::text(geo_source.map(|g| g.tag()).unwrap_or("none")),
-                    Value::Bool(anycast),
-                    Value::text("igdb_pipeline"),
-                    Value::text(&date),
-                ],
+        let ip_shared = reuse.filter(|(_, d)| d.ip_inputs_clean).map(|(p, _)| p);
+        let (bdrmap, hoiho, rdns, ip_info) = if let Some(p) = ip_shared {
+            Self::copy_tables(&db, &p.db, Stage::IpResolution.tables());
+            Self::replay_stage(&p.stage_ledger, Stage::IpResolution);
+            (
+                Arc::clone(&p.bdrmap),
+                Arc::clone(&p.hoiho),
+                p.rdns.clone(),
+                p.ip_info.clone(),
             )
-            .expect("ip_asn_dns row");
-            ip_info.insert(
-                ip,
-                IpInfo {
-                    asn,
-                    fqdn,
-                    metro,
-                    geo_source,
-                    anycast,
-                },
-            );
-        }
+        } else {
+            let bdr_span = igdb_obs::span("ip_resolution.bdrmap");
+            let rib: Vec<(Prefix, Asn)> = snaps
+                .bgp_prefixes
+                .iter()
+                .map(|r| (r.prefix, r.origin))
+                .collect();
+            let mut bdrmap = BdrMap::new(&rib, &ixp_lans);
+            let ip_sequences: Vec<Vec<Ip4>> = snaps
+                .ripe_traceroutes
+                .iter()
+                .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
+                .collect();
+            bdrmap.refine(&ip_sequences);
+            drop(bdr_span);
+
+            let rdns: HashMap<Ip4, String> = snaps
+                .rdns
+                .iter()
+                .map(|r| (r.ip, r.hostname.clone()))
+                .collect();
+            let hoiho_span = igdb_obs::span("ip_resolution.hoiho");
+            let (hoiho, _skipped) =
+                HoihoEngine::build(&snaps.hoiho_rules, &snaps.geo_codes, &metros);
+            drop(hoiho_span);
+
+            let mut observed: BTreeSet<Ip4> = BTreeSet::new();
+            for seq in &ip_sequences {
+                observed.extend(seq.iter().copied());
+            }
+            // Per-address resolution (bdrmap LPM, rDNS, anycast scan, IXP
+            // prefix scan, Hoiho geolocation) is read-only against the
+            // built indexes and fans out in parallel; row insertion stays
+            // serial in sorted-address order so `ip_asn_dns` is
+            // byte-identical at any worker count.
+            let observed: Vec<Ip4> = observed.into_iter().collect();
+            igdb_obs::counter("build.observed_ips", "", observed.len() as u64);
+            let resolve_span = igdb_obs::span("ip_resolution.resolve");
+            let resolved = igdb_par::par_map(&observed, |&ip| {
+                let asn = bdrmap.resolve(ip).asn();
+                let fqdn = rdns.get(&ip).cloned();
+                let anycast = snaps.anycast_prefixes.iter().any(|p| p.contains(ip));
+                let ixp_hit = ixp_prefix_metro
+                    .iter()
+                    .find(|(p, _)| p.contains(ip))
+                    .map(|&(_, m)| m);
+                let (metro, geo_source) = if let Some(mid) = ixp_hit {
+                    (Some(mid), Some(LocationSource::IxpPrefix))
+                } else if anycast {
+                    // An anycast address has no single location; per §5 it
+                    // is annotated instead of pinned (Hoiho would see just
+                    // one of its instances).
+                    (None, None)
+                } else if let Some(h) = fqdn.as_deref() {
+                    match hoiho.geolocate(h) {
+                        Some(m) => (Some(m), Some(LocationSource::Hoiho)),
+                        None => (None, None),
+                    }
+                } else {
+                    (None, None)
+                };
+                (asn, fqdn, anycast, metro, geo_source)
+            });
+            drop(resolve_span);
+            let mut ip_info: HashMap<Ip4, IpInfo> = HashMap::new();
+            for (&ip, (asn, fqdn, anycast, metro, geo_source)) in observed.iter().zip(resolved) {
+                if let Some(g) = geo_source {
+                    igdb_obs::counter("build.ip_geolocated", g.tag(), 1);
+                }
+                db.insert(
+                    "ip_asn_dns",
+                    vec![
+                        Value::text(ip.to_string()),
+                        asn.map(|a| Value::from(a.0)).unwrap_or(Value::Null),
+                        fqdn.clone().map(Value::Text).unwrap_or(Value::Null),
+                        metro.map(Value::from).unwrap_or(Value::Null),
+                        metro
+                            .map(|m| Value::text(metros.metro(m).label()))
+                            .unwrap_or(Value::Null),
+                        Value::text(geo_source.map(|g| g.tag()).unwrap_or("none")),
+                        Value::Bool(anycast),
+                        Value::text("igdb_pipeline"),
+                        Value::text(&date),
+                    ],
+                )
+                .expect("ip_asn_dns row");
+                ip_info.insert(
+                    ip,
+                    IpInfo {
+                        asn,
+                        fqdn,
+                        metro,
+                        geo_source,
+                        anycast,
+                    },
+                );
+            }
+            (Arc::new(bdrmap), Arc::new(hoiho), rdns, ip_info)
+        };
 
         drop(ip_span);
+        rec.cut();
+        debug_assert_eq!(rec.ledger.len(), Stage::ALL.len());
 
         // Index the hot keys.
         {
@@ -891,7 +1193,75 @@ impl Igdb {
             probes,
             phys_graph: OnceLock::new(),
             phys_geoms: OnceLock::new(),
+            snapshots: snaps.to_snapshot_set(),
+            stage_ledger: rec.ledger,
+            appended: false,
         }
+    }
+
+    /// The validated record set this world was built from.
+    pub fn source_snapshots(&self) -> &SnapshotSet {
+        &self.snapshots
+    }
+
+    /// Applies a replacement snapshot set incrementally: validate it in
+    /// full (quarantine and ingestion accounting are identical to a
+    /// rebuild's), diff it against the set this world was built from,
+    /// copy the clean stage prefix verbatim, re-run the dirty suffix, and
+    /// repair the lazily built physical-path graph in place — surviving
+    /// corridors migrate and the contraction hierarchy is re-contracted
+    /// in the recorded order with dirty nodes pushed last.
+    ///
+    /// The contract, enforced by the delta-determinism suite and CI: the
+    /// returned world is **byte-identical** to `try_build(snaps, policy)`
+    /// — database fingerprint, quarantine, and deterministic counter
+    /// stream — at every worker count and in both shortest-path modes.
+    ///
+    /// Worlds that took [`Igdb::append_snapshot`] refreshes hold
+    /// multi-date tables no stage copy can reproduce, so table reuse is
+    /// clamped to the stages appends never touch; the result still equals
+    /// a fresh build of `snaps` (appended dates are not carried over).
+    pub fn apply_delta(
+        &self,
+        snaps: &SnapshotSet,
+        policy: &BuildPolicy,
+    ) -> Result<(Igdb, BuildReport, SnapshotDelta), BuildError> {
+        let _span = igdb_obs::span("delta.apply");
+        let (clean, report) = Self::screen(snaps, policy)?;
+        let snap_span = igdb_obs::span("delta.snapshot_set");
+        let new_set = clean.to_snapshot_set();
+        drop(snap_span);
+        let diff_span = igdb_obs::span("delta.diff");
+        let mut delta = diff_snapshots(&self.snapshots, &new_set);
+        drop(diff_span);
+        if self.appended {
+            delta.first_dirty = Some(
+                delta
+                    .first_dirty
+                    .map_or(Stage::Physical, |fd| fd.min(Stage::Physical)),
+            );
+            // Appends also grew the dated relations (`traceroutes`,
+            // `ip_asn_dns` hold rows for every loaded date), so the
+            // prior's tables no longer mirror its stored snapshot set —
+            // input-narrowed sharing is off the table too.
+            delta.ip_inputs_clean = false;
+            delta.traceroute_rows_clean = false;
+        }
+        let igdb = Self::build_staged(&clean, Some((self, &delta)));
+        // The physical dirty region, from ground truth: the pair multisets.
+        delta.touched_metros = pair_diff_metros(&self.phys_pairs, &igdb.phys_pairs);
+        delta.phys_removal_only = pairs_removal_only(&self.phys_pairs, &igdb.phys_pairs);
+        if let Some(old_graph) = self.phys_graph.get() {
+            let repaired = crate::analysis::physpath::PhysGraph::rebuilt_for_delta(
+                old_graph,
+                igdb.metros.len(),
+                &igdb.phys_pairs,
+                &delta.touched_metros,
+                delta.phys_removal_only,
+            );
+            let _ = igdb.phys_graph.set(repaired);
+        }
+        Ok((igdb, report, delta))
     }
 
     /// The shared physical-path graph over the current snapshot's
@@ -978,6 +1348,10 @@ impl Igdb {
             date, self.as_of_date,
             "snapshot for {date} already loaded"
         );
+        let geoms_before = self
+            .db
+            .row_count("phys_conn")
+            .expect("phys_conn exists");
         load_physical(
             &self.db,
             &self.metros,
@@ -986,6 +1360,7 @@ impl Igdb {
             &snaps.atlas_links,
             &snaps.pdb_facilities,
             &date,
+            false,
         );
         for &(a, b) in snaps.asrank_links.iter() {
             self.db
@@ -1000,11 +1375,28 @@ impl Igdb {
                 )
                 .expect("asn_conn row");
         }
-        self.phys_pairs = phys_pairs_for(&self.db, &date);
-        // The snapshot changed what the lazy caches were built from.
-        self.phys_graph = OnceLock::new();
-        self.phys_geoms = OnceLock::new();
+        let pairs = phys_pairs_for(&self.db, &date);
+        // Invalidate the lazy caches only when their inputs changed: the
+        // geometry list keys off `phys_conn` rows (append-only, so a stable
+        // row count means identical rows), and the path graph keys off the
+        // current date's corridor pairs. A refresh with no new geometry —
+        // the common "re-pull the same physical world" case — keeps both,
+        // so held `phys_path_geometries()` slices stay warm instead of
+        // being reparsed from WKT on next touch.
+        if self
+            .db
+            .row_count("phys_conn")
+            .expect("phys_conn exists")
+            != geoms_before
+        {
+            self.phys_geoms = OnceLock::new();
+        }
+        if pairs != self.phys_pairs {
+            self.phys_graph = OnceLock::new();
+        }
+        self.phys_pairs = pairs;
         self.as_of_date = date;
+        self.appended = true;
     }
 
     /// Rows of `table` grouped by `as_of_date` — the time axis the paper's

@@ -49,6 +49,40 @@ impl<V: Clone> PairCache<V> {
         self.len() == 0
     }
 
+    /// Every settled `(key, value)` pair. Entries still in flight (cell
+    /// allocated but not yet filled) are skipped. Used by delta ingestion
+    /// to migrate still-valid corridors into a successor cache.
+    pub fn settled_entries(&self) -> Vec<((usize, usize), V)> {
+        let map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<((usize, usize), V)> = map
+            .iter()
+            .filter_map(|(k, cell)| cell.get().map(|v| (*k, v.clone())))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Pre-fills `key` with an already-known value (a migrated corridor).
+    /// Seeding does not count as a hit or a miss; an existing entry for the
+    /// key is left untouched.
+    pub fn seed(&self, key: (usize, usize), value: V) {
+        let cell = {
+            let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key).or_default())
+        };
+        let _ = cell.set(value);
+    }
+
+    /// Drops every settled entry whose key or value fails `keep`; in-flight
+    /// cells are dropped too (their eventual value can't be vetted).
+    pub fn retain(&self, keep: impl Fn(&(usize, usize), &V) -> bool) {
+        let mut map = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        map.retain(|k, cell| match cell.get() {
+            Some(v) => keep(k, v),
+            None => false,
+        });
+    }
+
     /// The memoized value for `key`, computing it at most once per key
     /// process-wide (concurrent callers for the same key block on the
     /// first computation instead of repeating it).
@@ -104,6 +138,44 @@ impl CorridorCache {
 
     pub fn is_empty(&self) -> bool {
         self.inner.is_empty()
+    }
+
+    /// Evicts every corridor that touches any metro in `touched`: an entry
+    /// survives only if both endpoints *and* every stored path node avoid
+    /// the touched set. Cached-unreachable (`None`) entries survive on the
+    /// endpoint test alone.
+    ///
+    /// Sound only for removal-only deltas: removing edges can't create a
+    /// shorter path, so a surviving corridor — minimal over a superset of
+    /// the remaining graph and fully intact — is still the canonical
+    /// answer, and an unreachable pair stays unreachable. Any delta that
+    /// adds or re-weights edges must flush instead (see
+    /// `PhysGraph::rebuilt_for_delta`).
+    pub fn evict_touching_metros(&self, touched: &std::collections::BTreeSet<usize>) {
+        self.inner.retain(|k, v| {
+            if touched.contains(&k.0) || touched.contains(&k.1) {
+                return false;
+            }
+            v.as_ref()
+                .map_or(true, |c| c.path.iter().all(|m| !touched.contains(m)))
+        });
+    }
+
+    /// Seeds this (typically fresh) cache with every entry of `old` that
+    /// survives [`evict_touching_metros`](Self::evict_touching_metros)'s
+    /// criterion — the corridor-migration half of a delta apply.
+    pub fn seed_surviving_from(&self, old: &CorridorCache, touched: &std::collections::BTreeSet<usize>) {
+        for (k, v) in old.inner.settled_entries() {
+            if touched.contains(&k.0) || touched.contains(&k.1) {
+                continue;
+            }
+            if let Some(c) = &v {
+                if c.path.iter().any(|m| touched.contains(m)) {
+                    continue;
+                }
+            }
+            self.inner.seed(k, v);
+        }
     }
 
     /// The corridor `from → to`, computing it via `compute` (called with
@@ -190,6 +262,77 @@ mod tests {
         // …and the recomputed value is now cached like any other.
         assert_eq!(cache.shortest_path(8, 3, compute), Some((vec![8, 3], 4.0)));
         assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn eviction_drops_touched_and_keeps_untouched_hot() {
+        let cache = CorridorCache::new("test");
+        let calls = AtomicUsize::new(0);
+        let compute = |lo: usize, hi: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some((vec![lo, 50, hi], 1.0))
+        };
+        // Populate: (1,2) and (3,4) avoid metro 7; (7,9) has it as an
+        // endpoint; (5,6) routes *through* it.
+        cache.shortest_path(1, 2, compute);
+        cache.shortest_path(3, 4, compute);
+        cache.shortest_path(7, 9, compute);
+        cache.shortest_path(5, 6, |lo, hi| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some((vec![lo, 7, hi], 2.0))
+        });
+        assert_eq!(cache.len(), 4);
+        let touched: std::collections::BTreeSet<usize> = [7].into_iter().collect();
+        cache.evict_touching_metros(&touched);
+        assert_eq!(cache.len(), 2, "endpoint-touched and path-touched entries evicted");
+        // Untouched entries survive AND still hit: no recompute.
+        let before = calls.load(Ordering::Relaxed);
+        assert_eq!(cache.shortest_path(1, 2, compute), Some((vec![1, 50, 2], 1.0)));
+        assert_eq!(cache.shortest_path(4, 3, compute), Some((vec![4, 50, 3], 1.0)));
+        assert_eq!(calls.load(Ordering::Relaxed), before, "survivors must hit");
+        // Evicted entries recompute on next request.
+        cache.shortest_path(7, 9, compute);
+        assert_eq!(calls.load(Ordering::Relaxed), before + 1);
+    }
+
+    #[test]
+    fn eviction_keeps_unreachable_entries_on_endpoint_test() {
+        let cache = CorridorCache::new("test");
+        let calls = AtomicUsize::new(0);
+        let none = |_: usize, _: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            None
+        };
+        cache.shortest_path(1, 9, none);
+        cache.shortest_path(2, 7, none);
+        let touched: std::collections::BTreeSet<usize> = [7].into_iter().collect();
+        cache.evict_touching_metros(&touched);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.shortest_path(1, 9, none), None);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "surviving None entry still hits");
+    }
+
+    #[test]
+    fn migration_seeds_only_survivors() {
+        let old = CorridorCache::new("test");
+        let calls = AtomicUsize::new(0);
+        old.shortest_path(1, 2, |lo, hi| Some((vec![lo, hi], 1.0)));
+        old.shortest_path(3, 8, |lo, hi| Some((vec![lo, 8, hi], 2.0)));
+        old.shortest_path(4, 5, |lo, hi| Some((vec![lo, 6, hi], 3.0)));
+        let fresh = CorridorCache::new("test");
+        let touched: std::collections::BTreeSet<usize> = [6].into_iter().collect();
+        fresh.seed_surviving_from(&old, &touched);
+        assert_eq!(fresh.len(), 2, "(4,5) routes through touched metro 6");
+        let compute = |lo: usize, hi: usize| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Some((vec![lo, hi], 9.9))
+        };
+        // Migrated entries answer without recompute, with the old value.
+        assert_eq!(fresh.shortest_path(2, 1, compute), Some((vec![2, 1], 1.0)));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        // The dropped pair recomputes fresh.
+        assert_eq!(fresh.shortest_path(4, 5, compute), Some((vec![4, 5], 9.9)));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

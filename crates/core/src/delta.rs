@@ -1,0 +1,472 @@
+//! Snapshot deltas: what changed between two validated snapshot sets, and
+//! how far into the build pipeline the change reaches.
+//!
+//! [`diff_snapshots`] compares two *screened* record sets (see
+//! [`CleanSnapshots::to_snapshot_set`](crate::validate::CleanSnapshots::to_snapshot_set))
+//! source by source. Because the inputs are post-validation, FK cascades
+//! are already closed: a removed atlas node takes its links with it either
+//! in the generator or in quarantine, so the diff never sees a dangling
+//! reference.
+//!
+//! The pipeline stages form a fixed order (the order `build_validated`
+//! runs them in), and dirtiness is **monotone**: if stage *k* must re-run,
+//! every later stage must too, because each stage reads tables and
+//! intermediates the earlier ones wrote. The clean stages therefore form a
+//! prefix of the build, and `apply_delta` copies their tables verbatim and
+//! replays their recorded counter deltas instead of recomputing them.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use igdb_synth::sources::SnapshotSet;
+
+/// One pipeline stage of `build_validated`, in execution order. The
+/// discriminants index the per-stage counter ledger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Metro registry from Natural Earth (spatial index + Thiessen cells).
+    Metros,
+    /// Right-of-way road graph.
+    Roads,
+    /// `city_points` / `city_polygons`.
+    CityTables,
+    /// `phys_nodes` / `phys_conn` — spatial joins plus roadway routing.
+    Physical,
+    /// `land_points` / `sub_cables` from Telegeography.
+    Telegeo,
+    /// `asn_name` / `asn_org` / `asn_conn` / `ixp_prefixes`.
+    Logical,
+    /// `asn_loc` (facility + IXP presence, remote-peering inference).
+    AsnLoc,
+    /// `probes`.
+    Probes,
+    /// `traceroutes`.
+    Traceroutes,
+    /// `ip_asn_dns` — bdrmap, rDNS, Hoiho, anycast annotation.
+    IpResolution,
+}
+
+impl Stage {
+    /// All stages in build order.
+    pub const ALL: [Stage; 10] = [
+        Stage::Metros,
+        Stage::Roads,
+        Stage::CityTables,
+        Stage::Physical,
+        Stage::Telegeo,
+        Stage::Logical,
+        Stage::AsnLoc,
+        Stage::Probes,
+        Stage::Traceroutes,
+        Stage::IpResolution,
+    ];
+
+    /// Tables this stage writes (used to copy a clean prefix verbatim).
+    pub fn tables(self) -> &'static [&'static str] {
+        match self {
+            Stage::Metros | Stage::Roads => &[],
+            Stage::CityTables => &["city_points", "city_polygons"],
+            Stage::Physical => &["phys_nodes", "phys_conn"],
+            Stage::Telegeo => &["land_points", "sub_cables"],
+            Stage::Logical => &["asn_name", "asn_org", "asn_conn", "ixp_prefixes"],
+            Stage::AsnLoc => &["asn_loc"],
+            Stage::Probes => &["probes"],
+            Stage::Traceroutes => &["traceroutes"],
+            Stage::IpResolution => &["ip_asn_dns"],
+        }
+    }
+}
+
+/// The earliest stage that consumes each source. A change to the source
+/// dirties that stage and, by monotonicity, everything after it.
+fn earliest_stage(source: &'static str) -> Stage {
+    match source {
+        "natural_earth" => Stage::Metros,
+        "roads" => Stage::Roads,
+        "atlas_nodes" | "atlas_links" | "pdb_facilities" => Stage::Physical,
+        "telegeo" => Stage::Telegeo,
+        // geo_codes feed the label resolver whose first consumer is the
+        // IXP join; he_exchanges / euroix are screened and counted but not
+        // loaded into relations — Logical is their conservative home.
+        "asrank_entries" | "asrank_links" | "pdb_networks" | "pdb_ix" | "pch_ixps"
+        | "geo_codes" | "he_exchanges" | "euroix" => Stage::Logical,
+        "pdb_netfac" | "pdb_netix" => Stage::AsnLoc,
+        "ripe_anchors" => Stage::Probes,
+        "ripe_traceroutes" => Stage::Traceroutes,
+        "rdns" | "bgp_prefixes" | "anycast_prefixes" | "hoiho_rules" => Stage::IpResolution,
+        other => unreachable!("unknown source {other}"),
+    }
+}
+
+/// Per-source record-level difference (multiset semantics: a mutated
+/// record counts once as removed and once as added).
+#[derive(Clone, Debug)]
+pub struct SourceDiff {
+    pub source: &'static str,
+    pub added: usize,
+    pub removed: usize,
+    /// The earliest pipeline stage this source feeds.
+    pub stage: Stage,
+}
+
+/// A typed diff between the snapshot set an [`crate::Igdb`] was built from
+/// and a candidate replacement.
+#[derive(Clone, Debug, Default)]
+pub struct SnapshotDelta {
+    /// Sources whose record multisets differ, in pipeline-stage order.
+    pub sources: Vec<SourceDiff>,
+    /// Earliest dirty stage; `None` means the sets are identical and the
+    /// whole table prefix can be copied.
+    pub first_dirty: Option<Stage>,
+    /// The `as_of_date` changed — every dated row changes, so the delta
+    /// degenerates to a full rebuild.
+    pub date_changed: bool,
+    /// `natural_earth` only grew, and the old places are a prefix of the
+    /// new: the metro registry can be extended in place (R-tree inserts)
+    /// instead of rebuilt, keeping existing metro ids stable.
+    pub metro_append_only: bool,
+    /// Metros whose inferred physical connectivity changed, filled by
+    /// `apply_delta` once the new `phys_conn` rows exist. Keys corridor
+    /// eviction and the scoped CH re-contraction.
+    pub touched_metros: BTreeSet<usize>,
+    /// The physical pair set only shrank (no additions, no re-weights).
+    /// Only then may corridor entries avoiding the touched metros migrate:
+    /// removing edges can never create a shorter path, while any addition
+    /// could, invalidating every cached corridor.
+    pub phys_removal_only: bool,
+    /// None of the sources the IP-resolution stage actually reads changed
+    /// (see [`IP_RESOLUTION_INPUTS`]). IP resolution sits last in the
+    /// pipeline, so monotone prefix dirtiness would re-run it for *every*
+    /// non-empty delta — but its input set is narrower than "everything":
+    /// atlas, facility, road, telegeo, and AS-Rank churn never reaches it.
+    /// When true, `apply_delta` shares the prior's resolution products
+    /// (`bdrmap`, `hoiho`, `ip_asn_dns`) instead of recomputing them.
+    pub ip_inputs_clean: bool,
+    /// The traceroute relation's only inputs — the `ripe_traceroutes`
+    /// records and the snapshot date — are unchanged. Like
+    /// [`ip_inputs_clean`](Self::ip_inputs_clean) this narrows monotone
+    /// prefix dirtiness: atlas or logical churn dirties every stage from
+    /// `Physical` on, but re-inserting tens of thousands of identical hop
+    /// rows is the single most expensive table load in the suffix. When
+    /// true, the stage's table is copied from the prior instead.
+    pub traceroute_rows_clean: bool,
+}
+
+/// The sources the IP-resolution stage reads, directly or through the
+/// products it consumes: the BGP RIB and traceroute hop sequences (bdrmap),
+/// rDNS hostnames and Hoiho rules plus the geo-code label resolver and the
+/// metro registry (Hoiho geolocation and row labels), anycast prefixes
+/// (annotation), and the PeeringDB IXP catalogue (`ixp_lans` /
+/// `ixp_prefix_metro`). A change to any other source cannot alter a single
+/// `ip_asn_dns` row.
+pub const IP_RESOLUTION_INPUTS: [&str; 8] = [
+    "natural_earth",
+    "geo_codes",
+    "pdb_ix",
+    "ripe_traceroutes",
+    "rdns",
+    "bgp_prefixes",
+    "anycast_prefixes",
+    "hoiho_rules",
+];
+
+impl SnapshotDelta {
+    /// True when the two sets were record-identical.
+    pub fn is_empty(&self) -> bool {
+        self.first_dirty.is_none() && !self.date_changed
+    }
+
+    /// Total records added across sources.
+    pub fn records_added(&self) -> usize {
+        self.sources.iter().map(|s| s.added).sum()
+    }
+
+    /// Total records removed across sources.
+    pub fn records_removed(&self) -> usize {
+        self.sources.iter().map(|s| s.removed).sum()
+    }
+}
+
+/// Streams a record's `Debug` rendering into two independently seeded
+/// hashers without materializing the string — the diff below runs on every
+/// apply, and allocating ~10⁵ debug strings (traceroute records carry
+/// whole hop vectors) dominated its cost.
+struct HashFmt<'a>(
+    &'a mut std::collections::hash_map::DefaultHasher,
+    &'a mut std::collections::hash_map::DefaultHasher,
+);
+
+impl std::fmt::Write for HashFmt<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        use std::hash::Hasher as _;
+        self.0.write(s.as_bytes());
+        self.1.write(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// A 128-bit fingerprint of one record's `Debug` rendering. `DefaultHasher`
+/// is deterministic (fixed-key SipHash), and the second lane starts from a
+/// distinct seed byte, so a collision needs both independent 64-bit lanes
+/// to collide at once — far below any practical concern for feed-sized
+/// multisets.
+fn record_key<T: std::fmt::Debug>(r: &T) -> (u64, u64) {
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+    let mut a = std::collections::hash_map::DefaultHasher::new();
+    let mut b = std::collections::hash_map::DefaultHasher::new();
+    b.write_u8(0xD1);
+    write!(HashFmt(&mut a, &mut b), "{r:?}").expect("hashing never fails");
+    (a.finish(), b.finish())
+}
+
+/// Multiset diff of one source via its records' `Debug` rendering (every
+/// source record type derives `Debug` with full field coverage, so equal
+/// renderings mean equal records). A small delta leaves most sources
+/// untouched, and the common case is untouched *in order* — caught by the
+/// plain slice equality below for the price of a field-by-field scan,
+/// skipping the per-record `Debug` hashing that dominates diff cost.
+fn diff_source<T: std::fmt::Debug + PartialEq>(
+    source: &'static str,
+    old: &[T],
+    new: &[T],
+    out: &mut Vec<SourceDiff>,
+) {
+    if old == new {
+        return;
+    }
+    let mut counts: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    for r in old {
+        *counts.entry(record_key(r)).or_default() -= 1;
+    }
+    for r in new {
+        *counts.entry(record_key(r)).or_default() += 1;
+    }
+    let added: i64 = counts.values().filter(|&&c| c > 0).sum();
+    let removed: i64 = -counts.values().filter(|&&c| c < 0).sum::<i64>();
+    if added > 0 || removed > 0 {
+        out.push(SourceDiff {
+            source,
+            added: added as usize,
+            removed: removed as usize,
+            stage: earliest_stage(source),
+        });
+    }
+}
+
+/// Diffs two validated snapshot sets. `old` is the set the current world
+/// was built from; `new` is the validated candidate.
+pub fn diff_snapshots(old: &SnapshotSet, new: &SnapshotSet) -> SnapshotDelta {
+    let mut sources = Vec::new();
+    diff_source("natural_earth", &old.natural_earth, &new.natural_earth, &mut sources);
+    diff_source("roads", &old.roads, &new.roads, &mut sources);
+    diff_source("atlas_nodes", &old.atlas_nodes, &new.atlas_nodes, &mut sources);
+    diff_source("atlas_links", &old.atlas_links, &new.atlas_links, &mut sources);
+    diff_source("pdb_facilities", &old.pdb_facilities, &new.pdb_facilities, &mut sources);
+    diff_source("telegeo", &old.telegeo, &new.telegeo, &mut sources);
+    diff_source("asrank_entries", &old.asrank_entries, &new.asrank_entries, &mut sources);
+    diff_source("asrank_links", &old.asrank_links, &new.asrank_links, &mut sources);
+    diff_source("pdb_networks", &old.pdb_networks, &new.pdb_networks, &mut sources);
+    diff_source("pdb_ix", &old.pdb_ix, &new.pdb_ix, &mut sources);
+    diff_source("pch_ixps", &old.pch_ixps, &new.pch_ixps, &mut sources);
+    diff_source("geo_codes", &old.geo_codes, &new.geo_codes, &mut sources);
+    diff_source("he_exchanges", &old.he_exchanges, &new.he_exchanges, &mut sources);
+    diff_source("euroix", &old.euroix, &new.euroix, &mut sources);
+    diff_source("pdb_netfac", &old.pdb_netfac, &new.pdb_netfac, &mut sources);
+    diff_source("pdb_netix", &old.pdb_netix, &new.pdb_netix, &mut sources);
+    diff_source("ripe_anchors", &old.ripe_anchors, &new.ripe_anchors, &mut sources);
+    diff_source("ripe_traceroutes", &old.ripe_traceroutes, &new.ripe_traceroutes, &mut sources);
+    diff_source("rdns", &old.rdns, &new.rdns, &mut sources);
+    diff_source("bgp_prefixes", &old.bgp_prefixes, &new.bgp_prefixes, &mut sources);
+    diff_source("anycast_prefixes", &old.anycast_prefixes, &new.anycast_prefixes, &mut sources);
+    diff_source("hoiho_rules", &old.hoiho_rules, &new.hoiho_rules, &mut sources);
+    sources.sort_by_key(|s| s.stage);
+
+    let date_changed = old.as_of_date != new.as_of_date;
+    let first_dirty = if date_changed {
+        Some(Stage::Metros)
+    } else {
+        sources.first().map(|s| s.stage)
+    };
+    let ne_changed = sources.iter().any(|s| s.source == "natural_earth");
+    let metro_append_only = ne_changed
+        && new.natural_earth.len() > old.natural_earth.len()
+        && old.natural_earth == new.natural_earth[..old.natural_earth.len()];
+    let ip_inputs_clean = !date_changed
+        && sources
+            .iter()
+            .all(|s| !IP_RESOLUTION_INPUTS.contains(&s.source));
+    let traceroute_rows_clean =
+        !date_changed && sources.iter().all(|s| s.source != "ripe_traceroutes");
+    SnapshotDelta {
+        sources,
+        first_dirty,
+        date_changed,
+        metro_append_only,
+        touched_metros: BTreeSet::new(),
+        phys_removal_only: false,
+        ip_inputs_clean,
+        traceroute_rows_clean,
+    }
+}
+
+/// Metros incident to any pair present in one pair multiset but not the
+/// other — the dirty region a delta's physical change reaches directly.
+/// Pairs are `(from, to, km)` with `km` compared by bit pattern.
+pub fn pair_diff_metros(
+    old: &[(usize, usize, f64)],
+    new: &[(usize, usize, f64)],
+) -> BTreeSet<usize> {
+    let mut counts: BTreeMap<(usize, usize, u64), i64> = BTreeMap::new();
+    for &(a, b, km) in old {
+        *counts.entry((a, b, km.to_bits())).or_default() -= 1;
+    }
+    for &(a, b, km) in new {
+        *counts.entry((a, b, km.to_bits())).or_default() += 1;
+    }
+    let mut touched = BTreeSet::new();
+    for (&(a, b, _), &c) in &counts {
+        if c != 0 {
+            touched.insert(a);
+            touched.insert(b);
+        }
+    }
+    touched
+}
+
+/// True when `new` is a sub-multiset of `old` (pairs were only removed).
+pub fn pairs_removal_only(old: &[(usize, usize, f64)], new: &[(usize, usize, f64)]) -> bool {
+    let mut counts: BTreeMap<(usize, usize, u64), i64> = BTreeMap::new();
+    for &(a, b, km) in old {
+        *counts.entry((a, b, km.to_bits())).or_default() += 1;
+    }
+    for &(a, b, km) in new {
+        *counts.entry((a, b, km.to_bits())).or_default() -= 1;
+    }
+    counts.values().all(|&c| c >= 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use igdb_synth::{emit_snapshots, generate_delta, DeltaClass, World, WorldConfig};
+
+    fn base() -> SnapshotSet {
+        let world = World::generate(WorldConfig::tiny());
+        emit_snapshots(&world, "2022-05-03", 400)
+    }
+
+    #[test]
+    fn identical_sets_diff_empty() {
+        let snaps = base();
+        let d = diff_snapshots(&snaps, &snaps.clone());
+        assert!(d.is_empty());
+        assert!(d.sources.is_empty());
+        assert_eq!(d.first_dirty, None);
+    }
+
+    #[test]
+    fn every_delta_class_maps_to_its_stage() {
+        let snaps = base();
+        let expectations = [
+            (DeltaClass::RoadChurn, Stage::Roads),
+            (DeltaClass::AtlasChurn, Stage::Physical),
+            (DeltaClass::AtlasPrune, Stage::Physical),
+            (DeltaClass::FacilityChurn, Stage::Physical),
+            (DeltaClass::LogicalChurn, Stage::Logical),
+            (DeltaClass::TracerouteChurn, Stage::Traceroutes),
+            (DeltaClass::MetroAdd, Stage::Metros),
+            (DeltaClass::MetroRemove, Stage::Metros),
+            (DeltaClass::EveryMetro, Stage::Metros),
+        ];
+        for (class, stage) in expectations {
+            let (new, ops) = generate_delta(&snaps, 7, &[class]);
+            assert!(!ops.is_empty(), "{class:?} generated no ops");
+            let d = diff_snapshots(&snaps, &new);
+            assert_eq!(d.first_dirty, Some(stage), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn metro_add_detected_as_append_only() {
+        let snaps = base();
+        let (new, _) = generate_delta(&snaps, 3, &[DeltaClass::MetroAdd]);
+        let d = diff_snapshots(&snaps, &new);
+        assert!(d.metro_append_only);
+        assert_eq!(d.first_dirty, Some(Stage::Metros));
+        // Removal shifts ids: never append-only.
+        let (removed, _) = generate_delta(&snaps, 3, &[DeltaClass::MetroRemove]);
+        assert!(!diff_snapshots(&snaps, &removed).metro_append_only);
+        // Mutating every place is not append-only either.
+        let (mutated, _) = generate_delta(&snaps, 3, &[DeltaClass::EveryMetro]);
+        assert!(!diff_snapshots(&snaps, &mutated).metro_append_only);
+    }
+
+    #[test]
+    fn input_narrowing_flags_track_their_sources() {
+        let snaps = base();
+        // (class, ip_inputs_clean, traceroute_rows_clean)
+        let expectations = [
+            // Physical/logical feed churn reaches neither narrowed stage.
+            (DeltaClass::AtlasChurn, true, true),
+            (DeltaClass::AtlasPrune, true, true),
+            (DeltaClass::FacilityChurn, true, true),
+            (DeltaClass::RoadChurn, true, true),
+            (DeltaClass::LogicalChurn, true, true),
+            // New measurements feed both bdrmap and the hop relation.
+            (DeltaClass::TracerouteChurn, false, false),
+            // Metro changes reshape Hoiho's slug table and row labels,
+            // but no traceroute row mentions a metro.
+            (DeltaClass::MetroAdd, false, true),
+            (DeltaClass::MetroRemove, false, true),
+            (DeltaClass::EveryMetro, false, true),
+        ];
+        for (class, ip_clean, tr_clean) in expectations {
+            let (new, ops) = generate_delta(&snaps, 7, &[class]);
+            assert!(!ops.is_empty(), "{class:?} generated no ops");
+            let d = diff_snapshots(&snaps, &new);
+            assert_eq!(d.ip_inputs_clean, ip_clean, "{class:?} ip_inputs_clean");
+            assert_eq!(
+                d.traceroute_rows_clean, tr_clean,
+                "{class:?} traceroute_rows_clean"
+            );
+        }
+        // A date change re-stamps every dated row: nothing can be shared.
+        let mut redated = snaps.clone();
+        redated.as_of_date = "2022-06-01".into();
+        let d = diff_snapshots(&snaps, &redated);
+        assert!(!d.ip_inputs_clean);
+        assert!(!d.traceroute_rows_clean);
+    }
+
+    #[test]
+    fn date_change_forces_full_rebuild() {
+        let snaps = base();
+        let mut new = snaps.clone();
+        new.as_of_date = "2022-06-01".into();
+        let d = diff_snapshots(&snaps, &new);
+        assert!(d.date_changed);
+        assert_eq!(d.first_dirty, Some(Stage::Metros));
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn pair_diff_and_removal_only() {
+        let old = vec![(0, 1, 10.0), (1, 2, 5.0), (2, 3, 7.0)];
+        let removed = vec![(0, 1, 10.0), (2, 3, 7.0)];
+        assert_eq!(
+            pair_diff_metros(&old, &removed).into_iter().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(pairs_removal_only(&old, &removed));
+        // A re-weight is a removal plus an addition: not removal-only.
+        let reweighted = vec![(0, 1, 10.0), (1, 2, 5.5), (2, 3, 7.0)];
+        assert!(!pairs_removal_only(&old, &reweighted));
+        assert_eq!(
+            pair_diff_metros(&old, &reweighted).into_iter().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(pairs_removal_only(&old, &old));
+        assert!(pair_diff_metros(&old, &old).is_empty());
+    }
+}

@@ -33,6 +33,8 @@ pub mod analysis;
 pub mod bdrmap;
 pub mod build;
 pub mod corridor;
+pub mod delta;
+pub mod epoch;
 pub mod hoiho;
 pub mod metros;
 pub mod roads;
@@ -47,6 +49,8 @@ pub use igdb_fault::{
     BuildError, BuildPolicy, BuildReport, Quarantine, QuarantinedRecord, RecordError,
     SourceFailure, SourceHealth, SourceId,
 };
+pub use delta::{diff_snapshots, SnapshotDelta, SourceDiff, Stage};
+pub use epoch::{Epoch, EpochHandle};
 pub use validate::CleanSnapshots;
 /// Observability layer (re-exported): install a [`igdb_obs::Registry`] to
 /// capture per-stage spans and the ingestion/build counters the pipeline

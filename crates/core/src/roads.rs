@@ -172,6 +172,17 @@ impl RoadGraph {
         Some((path, km, geom))
     }
 
+    /// Normalized pairs whose route (hit or miss) is already memoized.
+    /// Delta applies reusing a warm graph count these to replay the
+    /// `spath.queries` ticks a cold rebuild would have emitted.
+    pub fn cached_route_keys(&self) -> std::collections::BTreeSet<(usize, usize)> {
+        self.corridors
+            .settled_entries()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
     /// [`route_with_geometry_with`](Self::route_with_geometry_with), memoized
     /// by normalized metro pair: each unordered pair is routed at most once
     /// per graph, no matter how many callers (or parallel workers) ask.

@@ -430,6 +430,56 @@ impl ShortestPathEngine {
         self.hierarchy();
     }
 
+    /// Whether the contraction hierarchy has already been built. Delta
+    /// repair uses this to decide between the CH path and the Dijkstra
+    /// overlay fallback without *triggering* the lazy build.
+    pub fn hierarchy_ready(&self) -> bool {
+        self.hierarchy.get().is_some()
+    }
+
+    /// Builds this engine's hierarchy by re-contracting in `old`'s recorded
+    /// order with the `dirty` nodes moved (stably) to the end — the scoped
+    /// CH repair for a delta apply. Falls back to the normal lazy build
+    /// when `old` never built a hierarchy or the node counts differ (a
+    /// recorded order from a different world is meaningless). No-op if this
+    /// engine's hierarchy already exists. Returns true when a seeded
+    /// re-contraction actually ran.
+    ///
+    /// Answer bytes are unaffected either way: any contraction order yields
+    /// a correct CH, and CH answers are pinned bit-identical to Dijkstra.
+    pub fn seed_hierarchy_from(
+        &self,
+        old: &ShortestPathEngine,
+        dirty: &std::collections::BTreeSet<usize>,
+    ) -> bool {
+        if self.hierarchy.get().is_some() {
+            return false;
+        }
+        let Some(old_h) = old.hierarchy.get() else {
+            return false;
+        };
+        let prev = old_h.contraction_order();
+        if prev.len() != self.node_count() {
+            return false;
+        }
+        let mut order: Vec<u32> = Vec::with_capacity(prev.len());
+        let mut tail: Vec<u32> = Vec::new();
+        for &v in prev {
+            if dirty.contains(&(v as usize)) {
+                tail.push(v);
+            } else {
+                order.push(v);
+            }
+        }
+        order.extend(tail);
+        let mut ran = false;
+        self.hierarchy.get_or_init(|| {
+            ran = true;
+            ch::Hierarchy::build_seeded(self, &order)
+        });
+        ran
+    }
+
     pub(crate) fn hierarchy(&self) -> &ch::Hierarchy {
         self.hierarchy.get_or_init(|| ch::Hierarchy::build(self))
     }

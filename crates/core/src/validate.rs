@@ -74,6 +74,42 @@ pub struct CleanSnapshots<'a> {
     pub geo_codes: Cow<'a, [(String, usize)]>,
 }
 
+impl CleanSnapshots<'_> {
+    /// Materializes the screened view as an owned [`SnapshotSet`] — the
+    /// exact record set the build consumed, with every quarantined record
+    /// already removed. [`crate::delta::diff_snapshots`] diffs against
+    /// this, so FK cascades (links whose endpoints were screened out,
+    /// memberships of dropped sources) are resolved by the validator
+    /// before any delta math runs.
+    pub fn to_snapshot_set(&self) -> SnapshotSet {
+        SnapshotSet {
+            as_of_date: self.as_of_date.to_string(),
+            atlas_nodes: self.atlas_nodes.to_vec(),
+            atlas_links: self.atlas_links.to_vec(),
+            pdb_facilities: self.pdb_facilities.to_vec(),
+            pdb_networks: self.pdb_networks.to_vec(),
+            pdb_netfac: self.pdb_netfac.to_vec(),
+            pdb_ix: self.pdb_ix.to_vec(),
+            pdb_netix: self.pdb_netix.to_vec(),
+            pch_ixps: self.pch_ixps.to_vec(),
+            he_exchanges: self.he_exchanges.to_vec(),
+            euroix: self.euroix.to_vec(),
+            rdns: self.rdns.to_vec(),
+            asrank_entries: self.asrank_entries.to_vec(),
+            asrank_links: self.asrank_links.to_vec(),
+            ripe_anchors: self.ripe_anchors.to_vec(),
+            ripe_traceroutes: self.ripe_traceroutes.to_vec(),
+            natural_earth: self.natural_earth.to_vec(),
+            roads: self.roads.to_vec(),
+            telegeo: self.telegeo.to_vec(),
+            bgp_prefixes: self.bgp_prefixes.to_vec(),
+            anycast_prefixes: self.anycast_prefixes.to_vec(),
+            hoiho_rules: self.hoiho_rules.to_vec(),
+            geo_codes: self.geo_codes.to_vec(),
+        }
+    }
+}
+
 /// Rejects non-finite and out-of-WGS-84 coordinates. Clean emitters go
 /// through `GeoPoint::new`, which normalizes into exactly these ranges, so
 /// this never fires on well-formed data.

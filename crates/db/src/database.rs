@@ -67,6 +67,24 @@ impl Database {
         self.tables.read().keys().cloned().collect()
     }
 
+    /// Canonical dump of the whole database — table names in sorted order,
+    /// each with its schema, rows (floats by bit pattern) and index
+    /// entries. Two databases are interchangeable to every reader iff
+    /// their fingerprints are byte-equal; the delta-determinism suite
+    /// compares an incrementally patched database against a from-scratch
+    /// rebuild through this.
+    pub fn fingerprint(&self) -> String {
+        let tables = self.tables.read();
+        let mut out = String::new();
+        for (name, table) in tables.iter() {
+            out.push_str("== table ");
+            out.push_str(name);
+            out.push('\n');
+            table.fingerprint_into(&mut out);
+        }
+        out
+    }
+
     pub fn has_table(&self, name: &str) -> bool {
         self.tables.read().contains_key(name)
     }

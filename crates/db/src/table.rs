@@ -13,6 +13,7 @@ use crate::{DbError, Result};
 /// organization name. Range scans fall back to sequential scan, which is
 /// fine at iGDB scale (the largest relation, `asn_conn`, holds ~4×10⁵
 /// rows).
+#[derive(Clone)]
 pub struct Table {
     schema: Schema,
     rows: Vec<Vec<Value>>,
@@ -90,6 +91,79 @@ impl Table {
         }
         self.indexes.insert(col, index);
         Ok(())
+    }
+
+    /// Appends this table's canonical fingerprint to `out`: schema, every
+    /// row in insertion order (floats rendered by bit pattern so `-0.0`,
+    /// NaN payloads, and rounding all count), and every index with its
+    /// entries sorted by rendered key. Two tables fingerprint identically
+    /// iff a reader could not tell them apart — the byte-comparison
+    /// artifact behind the delta-apply ≡ full-rebuild contract.
+    pub fn fingerprint_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "schema:");
+        for c in self.schema.columns() {
+            let _ = write!(out, " {}:{:?}:{}", c.name, c.ty, c.nullable);
+        }
+        out.push('\n');
+        fn render(v: &Value, out: &mut String) {
+            use std::fmt::Write as _;
+            match v {
+                Value::Null => out.push('~'),
+                Value::Int(i) => {
+                    let _ = write!(out, "i{i}");
+                }
+                Value::Float(f) => {
+                    let _ = write!(out, "f{:016x}", f.to_bits());
+                }
+                Value::Text(s) => {
+                    let _ = write!(out, "t{s}");
+                }
+                Value::Bool(b) => {
+                    let _ = write!(out, "b{b}");
+                }
+            }
+        }
+        for row in &self.rows {
+            let _ = write!(out, "row:");
+            for v in row {
+                out.push(' ');
+                render(v, out);
+            }
+            out.push('\n');
+        }
+        let mut cols: Vec<usize> = self.indexes.keys().copied().collect();
+        cols.sort_unstable();
+        for col in cols {
+            let _ = writeln!(out, "index col={col}");
+            let index = &self.indexes[&col];
+            let mut entries: Vec<(String, &Vec<usize>)> = index
+                .iter()
+                .map(|(k, ids)| {
+                    let mut key = String::new();
+                    match k {
+                        ValueKey::Null => key.push('~'),
+                        ValueKey::Int(i) => {
+                            let _ = write!(key, "i{i}");
+                        }
+                        ValueKey::Float(bits) => {
+                            let _ = write!(key, "f{bits:016x}");
+                        }
+                        ValueKey::Text(s) => {
+                            let _ = write!(key, "t{s}");
+                        }
+                        ValueKey::Bool(b) => {
+                            let _ = write!(key, "b{b}");
+                        }
+                    }
+                    (key, ids)
+                })
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            for (key, ids) in entries {
+                let _ = writeln!(out, "  {key} {ids:?}");
+            }
+        }
     }
 
     /// True if an equality index exists on `column`.

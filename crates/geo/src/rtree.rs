@@ -1,37 +1,46 @@
-//! A static, bulk-loaded R-tree (Sort-Tile-Recursive packing).
+//! An R-tree over bounding boxes: STR bulk load plus dynamic insert/remove.
 //!
 //! iGDB's spatial joins touch tens of thousands of physical nodes against
 //! 7,342 Thiessen cells and thousands of corridor polygons; the naive
 //! all-pairs scan ArcGIS avoids internally is avoided here with an STR
-//! R-tree over bounding boxes. The tree is immutable after construction —
-//! iGDB builds are batch pipelines over snapshots, so there is no need for
-//! dynamic insertion.
+//! R-tree over bounding boxes. Builds bulk-load (Sort-Tile-Recursive
+//! packing); delta ingestion patches the tree in place with
+//! [`RTree::insert`] (min-area-enlargement descent with node splits) and
+//! [`RTree::remove_where`] (bbox-guided search with bbox recomputation up
+//! the path). Queries are exact either way — a patched tree answers
+//! identically to a freshly bulk-loaded one, which is what lets the delta
+//! path reuse trees without touching the byte-identity contract.
 
 use crate::point::{BoundingBox, GeoPoint};
 
 const NODE_CAPACITY: usize = 16;
 
-/// A static R-tree over items with bounding boxes.
+/// An R-tree over items with bounding boxes.
 ///
 /// `T` is the payload (e.g. a row id, a polygon index). Query results
 /// reference payloads by shared slice, so `T: Clone` is only needed at
 /// construction.
+#[derive(Clone)]
 pub struct RTree<T> {
     nodes: Vec<Node>,
+    /// Slot storage; `free` slots are dead (unreferenced by any leaf).
     items: Vec<(BoundingBox, T)>,
+    free: Vec<usize>,
     root: Option<usize>,
 }
 
+#[derive(Clone)]
 struct Node {
     bbox: BoundingBox,
-    /// Children: either inner node indexes or leaf item ranges.
     kind: NodeKind,
 }
 
+#[derive(Clone)]
 enum NodeKind {
+    /// Child node indexes.
     Inner(Vec<usize>),
-    /// Range into `items` (start..end).
-    Leaf(usize, usize),
+    /// Item slot indexes.
+    Leaf(Vec<usize>),
 }
 
 impl<T> RTree<T> {
@@ -41,6 +50,7 @@ impl<T> RTree<T> {
             return Self {
                 nodes: Vec::new(),
                 items: Vec::new(),
+                free: Vec::new(),
                 root: None,
             };
         }
@@ -69,7 +79,7 @@ impl<T> RTree<T> {
         items.extend(entries);
 
         let mut nodes: Vec<Node> = Vec::new();
-        // Build leaves over item ranges.
+        // Build leaves over item runs.
         let mut level: Vec<usize> = Vec::new();
         let mut start = 0;
         while start < items.len() {
@@ -80,7 +90,7 @@ impl<T> RTree<T> {
             }
             nodes.push(Node {
                 bbox,
-                kind: NodeKind::Leaf(start, end),
+                kind: NodeKind::Leaf((start..end).collect()),
             });
             level.push(nodes.len() - 1);
             start = end;
@@ -102,17 +112,244 @@ impl<T> RTree<T> {
             level = next;
         }
         let root = level.first().copied();
-        Self { nodes, items, root }
+        Self {
+            nodes,
+            items,
+            free: Vec::new(),
+            root,
+        }
     }
 
     /// Number of stored items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.items.len() - self.free.len()
     }
 
     /// True if the tree holds no items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len() == 0
+    }
+
+    /// Allocates an item slot, reusing freed ones.
+    fn alloc_item(&mut self, bbox: BoundingBox, item: T) -> usize {
+        if let Some(slot) = self.free.pop() {
+            self.items[slot] = (bbox, item);
+            slot
+        } else {
+            self.items.push((bbox, item));
+            self.items.len() - 1
+        }
+    }
+
+    /// Inserts one item. Descends by minimum area enlargement, splitting
+    /// overflowing nodes on the way back up (a root split grows the tree).
+    pub fn insert(&mut self, bbox: BoundingBox, item: T) {
+        let slot = self.alloc_item(bbox, item);
+        let Some(root) = self.root else {
+            self.nodes.push(Node {
+                bbox,
+                kind: NodeKind::Leaf(vec![slot]),
+            });
+            self.root = Some(self.nodes.len() - 1);
+            return;
+        };
+        // Descend to a leaf, recording the path.
+        let mut path = vec![root];
+        loop {
+            let ni = *path.last().unwrap();
+            match &self.nodes[ni].kind {
+                NodeKind::Leaf(_) => break,
+                NodeKind::Inner(children) => {
+                    let best = children
+                        .iter()
+                        .copied()
+                        .min_by(|&a, &b| {
+                            let ea = self.nodes[a].bbox.enlargement(&bbox);
+                            let eb = self.nodes[b].bbox.enlargement(&bbox);
+                            ea.partial_cmp(&eb)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then_with(|| a.cmp(&b))
+                        })
+                        .expect("inner nodes are never empty");
+                    path.push(best);
+                }
+            }
+        }
+        // Add to the leaf and grow bboxes along the path.
+        let leaf = *path.last().unwrap();
+        if let NodeKind::Leaf(slots) = &mut self.nodes[leaf].kind {
+            slots.push(slot);
+        }
+        for &ni in &path {
+            self.nodes[ni].bbox.union(&bbox);
+        }
+        // Split overflowing nodes bottom-up.
+        for depth in (0..path.len()).rev() {
+            let ni = path[depth];
+            if self.node_arity(ni) <= NODE_CAPACITY {
+                break;
+            }
+            let sibling = self.split_node(ni);
+            if depth == 0 {
+                // Root split: new root over the two halves.
+                let bbox = {
+                    let mut b = self.nodes[ni].bbox;
+                    b.union(&self.nodes[sibling].bbox);
+                    b
+                };
+                self.nodes.push(Node {
+                    bbox,
+                    kind: NodeKind::Inner(vec![ni, sibling]),
+                });
+                self.root = Some(self.nodes.len() - 1);
+            } else {
+                let parent = path[depth - 1];
+                if let NodeKind::Inner(children) = &mut self.nodes[parent].kind {
+                    children.push(sibling);
+                }
+            }
+        }
+    }
+
+    fn node_arity(&self, ni: usize) -> usize {
+        match &self.nodes[ni].kind {
+            NodeKind::Inner(c) => c.len(),
+            NodeKind::Leaf(s) => s.len(),
+        }
+    }
+
+    /// Splits node `ni` in half along its wider axis; returns the new
+    /// sibling's index. Both halves get recomputed bboxes.
+    fn split_node(&mut self, ni: usize) -> usize {
+        let wide_lon = {
+            let b = &self.nodes[ni].bbox;
+            (b.max_lon - b.min_lon) >= (b.max_lat - b.min_lat)
+        };
+        let center_key = |b: &BoundingBox| {
+            let c = b.center();
+            if wide_lon {
+                c.lon
+            } else {
+                c.lat
+            }
+        };
+        let (kind_a, kind_b) = match &self.nodes[ni].kind {
+            NodeKind::Leaf(slots) => {
+                let mut sorted = slots.clone();
+                sorted.sort_by(|&a, &b| {
+                    center_key(&self.items[a].0)
+                        .partial_cmp(&center_key(&self.items[b].0))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.cmp(&b))
+                });
+                let half = sorted.len() / 2;
+                let right = sorted.split_off(half);
+                (NodeKind::Leaf(sorted), NodeKind::Leaf(right))
+            }
+            NodeKind::Inner(children) => {
+                let mut sorted = children.clone();
+                sorted.sort_by(|&a, &b| {
+                    center_key(&self.nodes[a].bbox)
+                        .partial_cmp(&center_key(&self.nodes[b].bbox))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.cmp(&b))
+                });
+                let half = sorted.len() / 2;
+                let right = sorted.split_off(half);
+                (NodeKind::Inner(sorted), NodeKind::Inner(right))
+            }
+        };
+        let bbox_a = self.kind_bbox(&kind_a);
+        let bbox_b = self.kind_bbox(&kind_b);
+        self.nodes[ni] = Node {
+            bbox: bbox_a,
+            kind: kind_a,
+        };
+        self.nodes.push(Node {
+            bbox: bbox_b,
+            kind: kind_b,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn kind_bbox(&self, kind: &NodeKind) -> BoundingBox {
+        let mut bbox = BoundingBox::empty();
+        match kind {
+            NodeKind::Leaf(slots) => {
+                for &s in slots {
+                    bbox.union(&self.items[s].0);
+                }
+            }
+            NodeKind::Inner(children) => {
+                for &c in children {
+                    bbox.union(&self.nodes[c].bbox);
+                }
+            }
+        }
+        bbox
+    }
+
+    /// Removes the first item whose bbox intersects `probe` and whose
+    /// payload satisfies `pred`. Returns the removed payload's bbox, or
+    /// `None` if nothing matched. Ancestor bboxes are recomputed; nodes are
+    /// never merged (an underfull node still answers queries correctly).
+    pub fn remove_where(&mut self, probe: &BoundingBox, pred: impl Fn(&T) -> bool) -> Option<BoundingBox> {
+        let root = self.root?;
+        // Find the leaf + slot via DFS recording the path.
+        let mut path: Vec<usize> = Vec::new();
+        let found = self.find_removal(root, probe, &pred, &mut path)?;
+        let (leaf, pos) = found;
+        let slot = match &mut self.nodes[leaf].kind {
+            NodeKind::Leaf(slots) => slots.remove(pos),
+            NodeKind::Inner(_) => unreachable!("find_removal returns leaves"),
+        };
+        let removed_bbox = self.items[slot].0;
+        self.free.push(slot);
+        // Recompute bboxes bottom-up along the path.
+        for &ni in path.iter().rev() {
+            self.nodes[ni].bbox = self.kind_bbox(&self.nodes[ni].kind.clone());
+        }
+        if self.is_empty() {
+            self.nodes.clear();
+            self.free.clear();
+            self.items.clear();
+            self.root = None;
+        }
+        Some(removed_bbox)
+    }
+
+    /// DFS for the first matching item under `ni`; fills `path` with the
+    /// node chain (root..=leaf) on success.
+    fn find_removal(
+        &self,
+        ni: usize,
+        probe: &BoundingBox,
+        pred: &impl Fn(&T) -> bool,
+        path: &mut Vec<usize>,
+    ) -> Option<(usize, usize)> {
+        if !self.nodes[ni].bbox.intersects(probe) {
+            return None;
+        }
+        path.push(ni);
+        match &self.nodes[ni].kind {
+            NodeKind::Leaf(slots) => {
+                for (pos, &s) in slots.iter().enumerate() {
+                    let (b, t) = &self.items[s];
+                    if b.intersects(probe) && pred(t) {
+                        return Some((ni, pos));
+                    }
+                }
+            }
+            NodeKind::Inner(children) => {
+                for &c in children {
+                    if let Some(hit) = self.find_removal(c, probe, pred, path) {
+                        return Some(hit);
+                    }
+                }
+            }
+        }
+        path.pop();
+        None
     }
 
     /// All payloads whose bbox intersects `query`.
@@ -127,8 +364,9 @@ impl<T> RTree<T> {
                 }
                 match &node.kind {
                     NodeKind::Inner(children) => stack.extend(children.iter().copied()),
-                    NodeKind::Leaf(s, e) => {
-                        for (b, t) in &self.items[*s..*e] {
+                    NodeKind::Leaf(slots) => {
+                        for &s in slots {
+                            let (b, t) = &self.items[s];
                             if b.intersects(query) {
                                 out.push(t);
                             }
@@ -148,9 +386,7 @@ impl<T> RTree<T> {
     /// [`crate::spatial::NearestSiteIndex`], which corrects for latitude.
     pub fn nearest_by_center(&self, p: &GeoPoint) -> Option<(&T, f64)> {
         let root = self.root?;
-        let mut best: Option<(usize, f64)> = None; // item index, dist2
-        // (dist2 lower bound, node) min-heap via sorted Vec stack — depth is
-        // tiny (≤4 levels for 100k items) so a simple best-first loop works.
+        let mut best: Option<(usize, f64)> = None; // item slot, dist2
         let mut heap: std::collections::BinaryHeap<HeapEntry> = std::collections::BinaryHeap::new();
         heap.push(HeapEntry {
             dist2: self.nodes[root].bbox.planar_dist2_to(p),
@@ -171,11 +407,11 @@ impl<T> RTree<T> {
                         });
                     }
                 }
-                NodeKind::Leaf(s, e) => {
-                    for i in *s..*e {
-                        let d2 = self.items[i].0.center().planar_dist2(p);
+                NodeKind::Leaf(slots) => {
+                    for &s in slots {
+                        let d2 = self.items[s].0.center().planar_dist2(p);
                         if best.map_or(true, |(_, bd)| d2 < bd) {
-                            best = Some((i, d2));
+                            best = Some((s, d2));
                         }
                     }
                 }
@@ -229,19 +465,19 @@ pub fn point_tree<T>(points: Vec<(GeoPoint, T)>) -> RTree<T> {
     RTree::bulk_load(
         points
             .into_iter()
-            .map(|(p, t)| {
-                (
-                    BoundingBox {
-                        min_lon: p.lon,
-                        min_lat: p.lat,
-                        max_lon: p.lon,
-                        max_lat: p.lat,
-                    },
-                    t,
-                )
-            })
+            .map(|(p, t)| (point_bbox(&p), t))
             .collect(),
     )
+}
+
+/// The degenerate bbox of a single point.
+pub fn point_bbox(p: &GeoPoint) -> BoundingBox {
+    BoundingBox {
+        min_lon: p.lon,
+        min_lat: p.lat,
+        max_lon: p.lon,
+        max_lat: p.lat,
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +583,111 @@ mod tests {
             max_lat: 12.0,
         };
         assert_eq!(tree.query_bbox(&q).len(), 9);
+    }
+
+    #[test]
+    fn insert_matches_bulk_load_queries() {
+        // Build one tree by bulk load, another by inserting one-by-one into
+        // an empty tree; both must answer every query identically.
+        let pts = grid_points(25); // 625 points — forces splits and root growth
+        let bulk = point_tree(pts.clone());
+        let mut grown: RTree<usize> = RTree::bulk_load(vec![]);
+        for (p, id) in &pts {
+            grown.insert(point_bbox(p), *id);
+        }
+        assert_eq!(grown.len(), bulk.len());
+        for probe_box in [
+            BoundingBox {
+                min_lon: 3.5,
+                min_lat: 1.5,
+                max_lon: 9.5,
+                max_lat: 4.5,
+            },
+            BoundingBox::WORLD,
+        ] {
+            let mut a: Vec<usize> = bulk.query_bbox(&probe_box).into_iter().copied().collect();
+            let mut b: Vec<usize> = grown.query_bbox(&probe_box).into_iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        for probe in [
+            GeoPoint::raw(7.2, 11.9),
+            GeoPoint::raw(-3.0, 30.0),
+            GeoPoint::raw(24.9, 0.1),
+        ] {
+            let (ga, da) = bulk.nearest_by_center(&probe).unwrap();
+            let (gb, db) = grown.nearest_by_center(&probe).unwrap();
+            assert_eq!(pts[*ga].0.planar_dist2(&probe), pts[*gb].0.planar_dist2(&probe));
+            assert!((da - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn insert_into_bulk_loaded_tree() {
+        let pts = grid_points(10);
+        let mut tree = point_tree(pts.clone());
+        tree.insert(point_bbox(&GeoPoint::raw(4.25, 4.25)), 999);
+        assert_eq!(tree.len(), 101);
+        let (got, _) = tree.nearest_by_center(&GeoPoint::raw(4.3, 4.3)).unwrap();
+        assert_eq!(*got, 999);
+        // Existing answers survive.
+        let near = tree.query_within_deg(&GeoPoint::raw(5.0, 5.0), 1.0);
+        assert_eq!(near.len(), 10); // the 3x3 block plus the new point
+    }
+
+    #[test]
+    fn remove_then_queries_match_rebuild() {
+        let pts = grid_points(12); // 144 points
+        let mut tree = point_tree(pts.clone());
+        // Remove every point with even id via bbox-guided removal.
+        for (p, id) in &pts {
+            if id % 2 == 0 {
+                let got = tree.remove_where(&point_bbox(p), |t| t == id);
+                assert!(got.is_some(), "id {id} must be found");
+            }
+        }
+        let survivors: Vec<(GeoPoint, usize)> =
+            pts.iter().filter(|(_, id)| id % 2 == 1).cloned().collect();
+        let rebuilt = point_tree(survivors.clone());
+        assert_eq!(tree.len(), rebuilt.len());
+        let q = BoundingBox {
+            min_lon: 2.5,
+            min_lat: 2.5,
+            max_lon: 8.5,
+            max_lat: 8.5,
+        };
+        let mut a: Vec<usize> = tree.query_bbox(&q).into_iter().copied().collect();
+        let mut b: Vec<usize> = rebuilt.query_bbox(&q).into_iter().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        for probe in [GeoPoint::raw(3.3, 3.3), GeoPoint::raw(11.0, 0.2)] {
+            let (ga, _) = tree.nearest_by_center(&probe).unwrap();
+            let (gb, _) = rebuilt.nearest_by_center(&probe).unwrap();
+            assert_eq!(
+                pts[*ga].0.planar_dist2(&probe),
+                pts[*gb].0.planar_dist2(&probe)
+            );
+        }
+        // Removing a missing item is a no-op returning None.
+        assert!(tree
+            .remove_where(&point_bbox(&pts[0].0), |t| *t == 0)
+            .is_none());
+    }
+
+    #[test]
+    fn remove_all_then_reinsert() {
+        let pts = grid_points(5);
+        let mut tree = point_tree(pts.clone());
+        for (p, id) in &pts {
+            assert!(tree.remove_where(&point_bbox(p), |t| t == id).is_some());
+        }
+        assert!(tree.is_empty());
+        assert!(tree.nearest_by_center(&GeoPoint::raw(0.0, 0.0)).is_none());
+        tree.insert(point_bbox(&GeoPoint::raw(1.0, 1.0)), 7usize);
+        assert_eq!(tree.len(), 1);
+        let (got, _) = tree.nearest_by_center(&GeoPoint::raw(0.0, 0.0)).unwrap();
+        assert_eq!(*got, 7);
     }
 }

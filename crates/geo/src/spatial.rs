@@ -106,6 +106,25 @@ impl NearestSiteIndex {
         }
     }
 
+    /// A new index over this one's sites plus `new_sites`, appended in
+    /// order, patching the cloned R-tree with [`RTree::insert`] instead of
+    /// re-packing. Queries are exact, and tie-breaks are index-ordered, so
+    /// the extended index answers byte-identically to
+    /// `NearestSiteIndex::new` over the concatenated site list — this is
+    /// what lets delta ingestion extend a metro registry in place while an
+    /// old epoch keeps reading the original.
+    pub fn extended(&self, new_sites: &[GeoPoint]) -> Self {
+        let mut tree = self.tree.clone();
+        let mut cols = self.cols.clone();
+        let mut sites = self.sites.clone();
+        for p in new_sites {
+            tree.insert(crate::rtree::point_bbox(p), sites.len());
+            cols.push(p);
+            sites.push(*p);
+        }
+        Self { tree, cols, sites }
+    }
+
     pub fn len(&self) -> usize {
         self.sites.len()
     }

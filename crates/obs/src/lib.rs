@@ -511,6 +511,21 @@ impl Registry {
         out
     }
 
+    /// Deterministic counters as `(name, label, value)` triples, sorted by
+    /// key. The structured twin of [`counter_snapshot`](Self::counter_snapshot):
+    /// callers that need to *replay* counters elsewhere (the delta-apply
+    /// ledger in `igdb-core`) enumerate here and re-emit, rather than
+    /// parsing the rendered snapshot back.
+    pub fn counters(&self) -> Vec<(String, String, u64)> {
+        let m = self.inner.metrics.lock().unwrap();
+        m.iter()
+            .filter_map(|((n, l), v)| match v {
+                Metric::Counter(v) => Some((n.to_string(), l.to_string(), *v)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Human-readable rendering: counters, perf counters, histograms, and
     /// the span tree.
     pub fn render_table(&self) -> String {

@@ -36,7 +36,9 @@
 //! closure lands in the caller's registry. The pool itself records:
 //!
 //! * counters (worker-count invariant): `par.invocations{map|chunks}`,
-//!   `par.items{map|chunks}` — items submitted per entry point;
+//!   `par.items{map|chunks}` — items submitted per entry point. Inside a
+//!   [`quiet`] scope these demote to perf counters, for lazily-triggered
+//!   loops whose very occurrence depends on cache warmth;
 //! * perf counters (scheduling-dependent): `par.tasks{workerN}` — work
 //!   units executed by each worker, `par.steals` — work units executed by
 //!   spawned workers rather than the calling thread.
@@ -47,6 +49,41 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with this thread's parallel-loop submission accounting demoted
+/// from deterministic counters to perf counters.
+///
+/// Use this around parallel work that is *lazily triggered* — e.g. a
+/// contraction hierarchy built through a `OnceLock` on first query — where
+/// whether the loop runs at all depends on cache warmth, not on the input
+/// data. Such ticks cannot belong to the deterministic counter stream (a
+/// delta apply reusing a warm cache would legitimately skip them), but the
+/// cost is still worth tracking, so they land as perf counters instead.
+pub fn quiet<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            QUIET.with(|q| q.set(prev));
+        }
+    }
+    let prev = QUIET.with(|q| q.replace(true));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Submission accounting for a pool entry point: deterministic counters
+/// normally, perf counters inside a [`quiet`] scope.
+fn submit_accounting(label: &'static str, items: u64) {
+    if QUIET.with(|q| q.get()) {
+        igdb_obs::perf("par.invocations", label, 1);
+        igdb_obs::perf("par.items", label, items);
+    } else {
+        igdb_obs::counter("par.invocations", label, 1);
+        igdb_obs::counter("par.items", label, items);
+    }
 }
 
 /// Number of worker threads parallel loops will use, from (in priority
@@ -111,8 +148,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    igdb_obs::counter("par.invocations", "map", 1);
-    igdb_obs::counter("par.items", "map", items.len() as u64);
+    submit_accounting("map", items.len() as u64);
     par_map_inner(items, f)
 }
 
@@ -203,8 +239,7 @@ where
     FS: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
-    igdb_obs::counter("par.invocations", "map_with", 1);
-    igdb_obs::counter("par.items", "map_with", items.len() as u64);
+    submit_accounting("map_with", items.len() as u64);
     let workers = num_threads().min(items.len().max(1));
     if workers <= 1 {
         if items.is_empty() {
@@ -239,8 +274,7 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
-    igdb_obs::counter("par.invocations", "chunks", 1);
-    igdb_obs::counter("par.items", "chunks", items.len() as u64);
+    submit_accounting("chunks", items.len() as u64);
     let workers = num_threads().min(items.len().max(1));
     if workers <= 1 {
         return if items.is_empty() {

@@ -27,7 +27,7 @@ use igdb_serve::{
     ServerAddr, ServerConfig,
 };
 use igdb_synth::faults::FaultClass;
-use igdb_synth::{emit_snapshots, inject_faults, World, WorldConfig};
+use igdb_synth::{emit_snapshots, generate_delta, inject_faults, DeltaClass, World, WorldConfig};
 
 /// Typed CLI failure: every exit path renders through this, so file-IO
 /// errors carry the path and action instead of a bare `io::Error` string.
@@ -113,6 +113,7 @@ fn main() -> ExitCode {
         "export" => cmd_export(&args[1..]).map_err(CliError::from),
         "metrics" => cmd_metrics(&args[1..]),
         "queries" => cmd_queries(&args[1..]),
+        "delta" => cmd_delta(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
         "--help" | "-h" | "help" => {
@@ -162,14 +163,23 @@ commands:
           build a database and serve the fixed synthetic query mix (all
           five analyses), writing serving telemetry as JSON-lines;
           --deterministic redacts timing (the committed-baseline format)
+  delta   --out FILE.jsonl [--scale tiny|medium] [--date YYYY-MM-DD]
+          [--mesh N] [--seed N]
+          build a database, derive a seeded churn delta from its sources,
+          and apply it incrementally, writing the apply's deterministic
+          counter/span stream as JSON-lines (the committed-baseline
+          format gated by `metrics diff` in CI)
   serve   (--listen HOST:PORT | --unix PATH) [--scale tiny|medium]
           [--date YYYY-MM-DD] [--mesh N] [--workers N] [--queue N]
           [--deadline-ms N] [--metrics FILE.jsonl]
+          [--churn-ms N [--churn-seed N]]
           build a database and serve it over the binary protocol with
           per-request deadlines, bounded-queue backpressure, and panic
           containment; runs until stdin closes, then drains gracefully
           (finishes in-flight work, rejects new requests typed) and
-          flushes metrics
+          flushes metrics. --churn-ms applies a seeded source delta
+          every N ms and publishes it as a new epoch while serving —
+          in-flight requests finish on the epoch they started on
   loadgen [--addr HOST:PORT|unix:PATH] [--requests N] [--conns N]
           [--seed N] [--qps Q] [--deadline-ms N] [--scale tiny|medium]
           [--mesh N] [--workers N] [--queue N] [--out FILE.jsonl]
@@ -439,6 +449,75 @@ fn cmd_queries(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `igdb delta` — the delta-ingestion determinism baseline. Builds a base
+/// database (outside the registry), derives a seeded churn delta spanning
+/// every delta class except the catalogue rebuilds, and applies it
+/// incrementally; only the *apply* lands in the stream, so the committed
+/// golden pins exactly the incremental path's counters and span shape.
+/// CI regenerates the stream at 1 and 4 workers in both shortest-path
+/// modes and gates it with `metrics diff`.
+fn cmd_delta(args: &[String]) -> Result<(), CliError> {
+    let out = PathBuf::from(require(args, "--out")?);
+    let scale = flag(args, "--scale").unwrap_or_else(|| "tiny".into());
+    let date = flag(args, "--date").unwrap_or_else(|| "2022-05-03".into());
+    let mesh: usize = flag(args, "--mesh")
+        .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
+        .transpose()?
+        .unwrap_or(400);
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+    let config = match scale.as_str() {
+        "tiny" => WorldConfig::tiny(),
+        "medium" => WorldConfig::medium(),
+        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
+    };
+    use std::io::Write as _;
+    let mut out_file = io_ctx(std::fs::File::create(&out), "create metrics file", &out)?;
+
+    eprintln!("generating world ({scale})…");
+    let world = World::generate(config);
+    let snaps = emit_snapshots(&world, &date, mesh);
+    eprintln!("building base database…");
+    let (base, _) = Igdb::try_build(&snaps, &BuildPolicy::lenient())?;
+    let classes = [
+        DeltaClass::AtlasChurn,
+        DeltaClass::AtlasPrune,
+        DeltaClass::FacilityChurn,
+        DeltaClass::TracerouteChurn,
+        DeltaClass::LogicalChurn,
+        DeltaClass::RoadChurn,
+    ];
+    let (churned, ops) = generate_delta(base.source_snapshots(), seed, &classes);
+    eprintln!("applying delta ({} ops, seed {seed})…", ops.len());
+    let registry = igdb_obs::Registry::new();
+    let (next, _, delta) = {
+        let _g = registry.install();
+        base.apply_delta(&churned, &BuildPolicy::lenient())?
+    };
+    eprintln!(
+        "applied: +{} −{} records, first dirty stage {:?}, {} rows",
+        delta.records_added(),
+        delta.records_removed(),
+        delta.first_dirty,
+        next.db
+            .table_names()
+            .iter()
+            .map(|t| next.db.row_count(t).unwrap_or(0))
+            .sum::<usize>()
+    );
+    io_ctx(
+        out_file.write_all(
+            registry.json_lines(igdb_obs::JsonMode::Deterministic).as_bytes(),
+        ),
+        "write metrics file",
+        &out,
+    )?;
+    eprintln!("wrote delta-apply telemetry to {}", out.display());
+    Ok(())
+}
+
 /// Builds a synthetic-world database from the shared `--scale`,
 /// `--date`, and `--mesh` flags (the `serve`/`loadgen` ingestion path).
 fn synth_igdb(args: &[String]) -> Result<Igdb, CliError> {
@@ -509,11 +588,81 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Path::new("<listener>"),
     )?;
     eprintln!("serving on {} — close stdin (ctrl-d) to drain", server.addr());
+    // Optional live churn: a single writer thread periodically derives a
+    // seeded delta from the current epoch's sources, applies it
+    // incrementally, and publishes the result. The swap is one pointer:
+    // requests in flight keep answering from the epoch they pinned.
+    let churn_ms: Option<u64> = flag(args, "--churn-ms")
+        .map(|v| v.parse().map_err(|e| format!("bad --churn-ms: {e}")))
+        .transpose()?;
+    let churn_seed: u64 = flag(args, "--churn-seed")
+        .map(|v| v.parse().map_err(|e| format!("bad --churn-seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let churn = churn_ms.map(|ms| {
+        let epochs = server.epochs();
+        let reg = server.registry();
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("igdb-churn".into())
+            .spawn(move || {
+                use std::sync::atomic::Ordering;
+                let _g = reg.install();
+                // The apply's spans are serial-only shapes; this writer
+                // runs beside the serving threads, so gag spans and let
+                // the deterministic counters flow.
+                let _gag = igdb_obs::suppress_spans();
+                let classes = [
+                    DeltaClass::AtlasChurn,
+                    DeltaClass::TracerouteChurn,
+                    DeltaClass::LogicalChurn,
+                    DeltaClass::FacilityChurn,
+                ];
+                let mut round = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let mut slept = 0;
+                    while slept < ms && !stop.load(Ordering::SeqCst) {
+                        let step = (ms - slept).min(25);
+                        std::thread::sleep(Duration::from_millis(step));
+                        slept += step;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let cur = epochs.current();
+                    let class = classes[(round as usize) % classes.len()];
+                    let (churned, ops) = generate_delta(
+                        cur.igdb.source_snapshots(),
+                        churn_seed.wrapping_add(round),
+                        &[class],
+                    );
+                    match cur.igdb.apply_delta(&churned, &BuildPolicy::lenient()) {
+                        Ok((next, _, delta)) => {
+                            let n = epochs.publish(next);
+                            eprintln!(
+                                "epoch {n}: applied {class:?} ({} ops, +{} −{} records)",
+                                ops.len(),
+                                delta.records_added(),
+                                delta.records_removed()
+                            );
+                        }
+                        Err(e) => eprintln!("churn apply failed (epoch kept): {e}"),
+                    }
+                    round += 1;
+                }
+            })
+            .expect("spawn churn thread")
+    });
     // Block until the operator closes stdin; every byte before EOF is
     // ignored, so `igdb serve … < /dev/null` drains immediately.
     let mut sink = [0u8; 4096];
     let mut stdin = std::io::stdin();
     while matches!(std::io::Read::read(&mut stdin, &mut sink), Ok(n) if n > 0) {}
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    if let Some(h) = churn {
+        let _ = h.join();
+    }
     eprintln!("draining…");
     let report = server.drain();
     eprintln!(

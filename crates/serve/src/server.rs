@@ -53,7 +53,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use igdb_core::analysis::{footprint, risk};
-use igdb_core::{Igdb, SpWorkspace};
+use igdb_core::{EpochHandle, Igdb, SpWorkspace};
 use igdb_fault::ServeError;
 use igdb_geo::{GeoPoint, Polygon};
 use igdb_obs::Registry;
@@ -261,7 +261,10 @@ impl ConnWriter {
 }
 
 struct Shared {
-    igdb: Arc<Igdb>,
+    /// Epoch-versioned world: a request pins the current epoch once at
+    /// dispatch and uses that world for its whole lifetime, so a delta
+    /// published mid-request never tears it. See [`igdb_core::epoch`].
+    epochs: Arc<EpochHandle>,
     cfg: ServerConfig,
     reg: Registry,
     queue: Mutex<VecDeque<Job>>,
@@ -316,7 +319,7 @@ impl Shared {
 
     fn stats(&self) -> Response {
         Response::Stats {
-            n_metros: self.igdb.metros.len() as u32,
+            n_metros: self.epochs.current().igdb.metros.len() as u32,
             queue_depth: self.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as u32,
             queue_capacity: self.cfg.queue_capacity as u32,
             busy_workers: self.busy.load(Ordering::SeqCst) as u32,
@@ -368,7 +371,7 @@ impl Server {
         }
         let workers = if cfg.workers == 0 { igdb_par::num_threads() } else { cfg.workers };
         let shared = Arc::new(Shared {
-            igdb,
+            epochs: Arc::new(EpochHandle::new_shared(igdb)),
             cfg,
             reg,
             queue: Mutex::new(VecDeque::new()),
@@ -406,6 +409,14 @@ impl Server {
     /// The registry the server records into.
     pub fn registry(&self) -> Registry {
         self.shared.reg.clone()
+    }
+
+    /// The epoch handle the workers pin from. A writer (delta-ingestion
+    /// loop, test harness) builds the next world on its own time and
+    /// publishes here; in-flight requests finish on the epoch they
+    /// pinned, new requests see the new one.
+    pub fn epochs(&self) -> Arc<EpochHandle> {
+        Arc::clone(&self.shared.epochs)
     }
 
     /// Graceful shutdown: stop admitting (new requests get a typed
@@ -600,9 +611,13 @@ fn worker_loop(shared: &Arc<Shared>) {
             // Expired while queued: don't burn a worker on a dead request.
             Response::Error(e)
         } else {
+            // Pin once per request: everything this request touches —
+            // graph, corridors, tables — comes from one epoch, even if a
+            // delta is published while it runs.
+            let epoch = shared.epochs.current();
             let timer = igdb_obs::hist_timer("serve.request_us", kind);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                execute(&shared.igdb, &mut ws, &job.req, &job.deadline)
+                execute(&epoch.igdb, &mut ws, &job.req, &job.deadline)
             }));
             drop(timer);
             match outcome {

@@ -29,6 +29,7 @@
 pub mod ases;
 pub mod cables;
 pub mod cities;
+pub mod deltas;
 pub mod faults;
 pub mod intertubes;
 pub mod naming;
@@ -40,6 +41,7 @@ pub mod world;
 pub use ases::{AsClass, AsCounts, AsEcosystem, RdnsStyle, SynthAs};
 pub use cables::Cable;
 pub use cities::{City, Continent, REAL_CITIES};
+pub use deltas::{generate_delta, DeltaClass, DeltaKind, DeltaOp};
 pub use faults::{inject_faults, FaultClass, InjectedFault};
 pub use naming::{GeoCodebook, HoihoRule, TokenKind};
 pub use rightofway::RowNetwork;

@@ -125,7 +125,7 @@ pub fn hostname_for(
 
 /// One Hoiho-style geolocation rule: a regex whose first capture group
 /// yields a location token, plus how to interpret the token.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HoihoRule {
     /// The regex source text (consumed by `igdb-regex`).
     pub pattern: String,

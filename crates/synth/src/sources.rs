@@ -25,7 +25,7 @@ use crate::ases::AsClass;
 use crate::world::World;
 
 /// One Internet Atlas PoP entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AtlasNode {
     /// Owning network's name as Atlas records it (search-derived).
     pub network: String,
@@ -51,7 +51,7 @@ pub enum LinkType {
 
 /// One Internet Atlas PoP-to-PoP connection (no path geometry — the paper
 /// stresses exact paths are withheld for security).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AtlasLink {
     pub network: String,
     pub from_node: String,
@@ -60,7 +60,7 @@ pub struct AtlasLink {
 }
 
 /// One PeeringDB facility.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PdbFacility {
     pub fac_id: u32,
     pub name: String,
@@ -70,7 +70,7 @@ pub struct PdbFacility {
 }
 
 /// One PeeringDB network record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PdbNetwork {
     pub net_id: u32,
     pub asn: Asn,
@@ -79,14 +79,14 @@ pub struct PdbNetwork {
 }
 
 /// AS presence at a facility (netfac).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PdbNetFac {
     pub net_id: u32,
     pub fac_id: u32,
 }
 
 /// One PeeringDB IXP with its peering LAN.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PdbIx {
     pub ix_id: u32,
     pub name: String,
@@ -96,14 +96,14 @@ pub struct PdbIx {
 }
 
 /// AS membership at an IXP (netixlan).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PdbNetIx {
     pub net_id: u32,
     pub ix_id: u32,
 }
 
 /// PCH IXP directory entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PchIxp {
     pub name: String,
     pub city_label: String,
@@ -114,14 +114,14 @@ pub struct PchIxp {
 }
 
 /// Hurricane Electric exchange report row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct HeExchange {
     pub name: String,
     pub participant_count: usize,
 }
 
 /// EuroIX IXP feed entry (European IXPs only).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct EuroIxEntry {
     pub ix_name: String,
     pub country: String,
@@ -129,14 +129,14 @@ pub struct EuroIxEntry {
 }
 
 /// A Rapid7-style PTR record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RdnsRecord {
     pub ip: Ip4,
     pub hostname: String,
 }
 
 /// AS Rank per-AS row.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AsRankEntry {
     pub asn: Asn,
     pub as_name: String,
@@ -145,7 +145,7 @@ pub struct AsRankEntry {
 }
 
 /// RIPE anchor registration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RipeAnchorRecord {
     pub id: u32,
     pub ip: Ip4,
@@ -156,7 +156,7 @@ pub struct RipeAnchorRecord {
 }
 
 /// One hop of a published traceroute.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RipeHop {
     pub ttl: u8,
     pub ip: Option<Ip4>,
@@ -164,7 +164,7 @@ pub struct RipeHop {
 }
 
 /// One anchor-mesh traceroute.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RipeTraceroute {
     pub src_anchor: u32,
     pub dst_anchor: u32,
@@ -172,7 +172,7 @@ pub struct RipeTraceroute {
 }
 
 /// Natural-Earth-style populated place (the standardization input).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NaturalEarthPlace {
     pub name: String,
     pub state: String,
@@ -183,7 +183,7 @@ pub struct NaturalEarthPlace {
 
 /// One segment of the public transportation (right-of-way) dataset.
 /// Endpoint indexes refer to the `natural_earth` list.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RoadSegment {
     pub a: usize,
     pub b: usize,
@@ -192,7 +192,7 @@ pub struct RoadSegment {
 }
 
 /// Telegeography-style cable record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TelegeoCableRecord {
     pub cable_id: usize,
     pub name: String,
@@ -204,7 +204,7 @@ pub struct TelegeoCableRecord {
 
 /// BGP RIB entry: announced prefix and its origin AS (what RouteViews/RIS
 /// dumps provide and bdrmapIT consumes).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BgpPrefixRecord {
     pub prefix: Prefix,
     pub origin: Asn,

@@ -1,0 +1,323 @@
+//! The delta-ingestion contract: applying a churned snapshot set to a
+//! built world with [`Igdb::apply_delta`] is **byte-identical** to
+//! rebuilding from scratch with [`Igdb::try_build`] on the same inputs —
+//! database fingerprint (every row, float bit patterns, index contents),
+//! quarantine and per-source health, and the deterministic counter
+//! stream — for every generated delta class, at every worker count, in
+//! both shortest-path modes.
+//!
+//! Also covered here: epoch-versioned reads (a reader pinned on one
+//! epoch never observes a mixture of two worlds), and the golden
+//! JSON-lines baseline for the apply path (`tests/golden/delta.jsonl`,
+//! bless with `IGDB_BLESS=1`; CI regenerates it via `igdb delta` and
+//! gates with `metrics diff`).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use igdb_core::igdb_obs::{JsonMode, Registry};
+use igdb_core::{
+    BuildPolicy, BuildReport, EpochHandle, Igdb, SnapshotDelta, SpMode, Stage,
+};
+use igdb_synth::sources::SnapshotSet;
+use igdb_synth::{emit_snapshots, generate_delta, DeltaClass, World, WorldConfig};
+
+fn base_snaps() -> SnapshotSet {
+    let world = World::generate(WorldConfig::tiny());
+    emit_snapshots(&world, "2022-05-03", 400)
+}
+
+/// Everything a reader could tell two worlds apart by.
+#[derive(Clone, PartialEq)]
+struct Capture {
+    fingerprint: String,
+    report: BuildReport,
+    counters: String,
+}
+
+impl std::fmt::Debug for Capture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // On mismatch, show the first diverging fingerprint line instead
+        // of megabytes of rows.
+        f.debug_struct("Capture")
+            .field("fingerprint_len", &self.fingerprint.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+/// First line where two captures' fingerprints diverge, for assertions.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {i}: {la:?} != {lb:?}");
+        }
+    }
+    format!("lengths differ: {} vs {} lines", a.lines().count(), b.lines().count())
+}
+
+/// Builds `base` outside any registry, then applies `next` incrementally
+/// under an isolated registry at `threads` workers.
+fn apply_capture(
+    base: &SnapshotSet,
+    next: &SnapshotSet,
+    threads: usize,
+) -> (Capture, SnapshotDelta) {
+    let (prior, _) = Igdb::try_build(base, &BuildPolicy::lenient()).expect("base builds");
+    let reg = Registry::new();
+    let (igdb, report, delta) = igdb_par::with_threads(threads, || {
+        let _g = reg.install();
+        prior.apply_delta(next, &BuildPolicy::lenient()).expect("delta applies")
+    });
+    (
+        Capture {
+            fingerprint: igdb.db.fingerprint(),
+            report,
+            counters: reg.counter_snapshot(),
+        },
+        delta,
+    )
+}
+
+/// Rebuilds `next` from scratch under an isolated registry.
+fn rebuild_capture(next: &SnapshotSet, threads: usize) -> Capture {
+    let reg = Registry::new();
+    let (igdb, report) = igdb_par::with_threads(threads, || {
+        let _g = reg.install();
+        Igdb::try_build(next, &BuildPolicy::lenient()).expect("rebuild builds")
+    });
+    Capture {
+        fingerprint: igdb.db.fingerprint(),
+        report,
+        counters: reg.counter_snapshot(),
+    }
+}
+
+fn assert_identical(apply: &Capture, rebuild: &Capture, ctx: &str) {
+    assert_eq!(
+        apply.fingerprint, rebuild.fingerprint,
+        "{ctx}: table bytes diverged — {}",
+        first_diff(&apply.fingerprint, &rebuild.fingerprint)
+    );
+    assert_eq!(apply.report, rebuild.report, "{ctx}: report diverged");
+    assert_eq!(apply.counters, rebuild.counters, "{ctx}: counters diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Apply ≡ rebuild, per delta class
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_delta_class_applies_byte_identical_to_rebuild() {
+    let base = base_snaps();
+    for class in DeltaClass::ALL {
+        for seed in [3u64, 17] {
+            let (next, ops) = generate_delta(&base, seed, &[class]);
+            let (apply, delta) = apply_capture(&base, &next, 2);
+            let rebuild = rebuild_capture(&next, 2);
+            assert_identical(&apply, &rebuild, &format!("{class:?} seed {seed}"));
+            if class == DeltaClass::Empty {
+                assert!(ops.is_empty() && delta.is_empty(), "empty delta must diff empty");
+                assert_eq!(delta.first_dirty, None);
+            } else {
+                assert!(!ops.is_empty(), "{class:?} generated no ops");
+                assert!(!delta.is_empty(), "{class:?} diffed empty");
+            }
+        }
+    }
+}
+
+#[test]
+fn composite_delta_is_worker_count_invariant() {
+    let base = base_snaps();
+    let classes = [
+        DeltaClass::AtlasChurn,
+        DeltaClass::FacilityChurn,
+        DeltaClass::LogicalChurn,
+        DeltaClass::TracerouteChurn,
+        DeltaClass::RoadChurn,
+    ];
+    let (next, _) = generate_delta(&base, 11, &classes);
+    let rebuild = rebuild_capture(&next, 1);
+    for threads in [1usize, 2, 4] {
+        let (apply, delta) = apply_capture(&base, &next, threads);
+        assert_identical(&apply, &rebuild, &format!("{threads} workers"));
+        // Road churn dirties from the Roads stage on.
+        assert_eq!(delta.first_dirty, Some(Stage::Roads), "{threads} workers");
+    }
+}
+
+#[test]
+fn apply_matches_rebuild_in_both_sp_modes() {
+    let base = base_snaps();
+    let (next, _) = generate_delta(&base, 5, &[DeltaClass::AtlasChurn, DeltaClass::RoadChurn]);
+    let mut captures = Vec::new();
+    for mode in [SpMode::Dijkstra, SpMode::Ch] {
+        igdb_core::with_mode(mode, || {
+            let (apply, _) = apply_capture(&base, &next, 2);
+            let rebuild = rebuild_capture(&next, 2);
+            assert_identical(&apply, &rebuild, &format!("{mode:?}"));
+            captures.push(apply);
+        });
+    }
+    // And the two modes agree with each other.
+    assert_identical(&captures[0], &captures[1], "Dijkstra vs Ch");
+}
+
+// ---------------------------------------------------------------------------
+// Warm-graph repair: migrated corridors and seeded CH answer identically
+// ---------------------------------------------------------------------------
+
+#[test]
+fn repaired_phys_graph_answers_match_cold_rebuild() {
+    let base = base_snaps();
+    let (prior, _) = Igdb::try_build(&base, &BuildPolicy::lenient()).unwrap();
+    // Warm the prior graph the way a serving deployment would: CH built,
+    // corridors populated.
+    igdb_core::with_mode(SpMode::Ch, || {
+        let g = prior.phys_graph();
+        let mut ws = igdb_core::SpWorkspace::new();
+        for from in (0..prior.metros.len()).step_by(3) {
+            let _ = g.shortest_path_cached(&mut ws, from, (from + 7) % prior.metros.len());
+        }
+    });
+    // Removal-only churn: the corridor-migration fast path.
+    let (next, _) = generate_delta(&base, 23, &[DeltaClass::AtlasPrune]);
+    let (applied, _, delta) =
+        prior.apply_delta(&next, &BuildPolicy::lenient()).expect("apply");
+    assert!(delta.phys_removal_only, "AtlasPrune must diff removal-only");
+    let (rebuilt, _) = Igdb::try_build(&next, &BuildPolicy::lenient()).unwrap();
+    let (ga, gb) = (applied.phys_graph(), rebuilt.phys_graph());
+    let mut wa = igdb_core::SpWorkspace::new();
+    let mut wb = igdb_core::SpWorkspace::new();
+    let n = applied.metros.len();
+    assert_eq!(n, rebuilt.metros.len());
+    for from in 0..n {
+        for to in (from..n).step_by(2) {
+            assert_eq!(
+                ga.shortest_path_cached(&mut wa, from, to),
+                gb.shortest_path_cached(&mut wb, from, to),
+                "({from}, {to})"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-versioned reads: old-or-new, never torn
+// ---------------------------------------------------------------------------
+
+/// A cross-table consistency tuple: any mixture of two worlds breaks it.
+fn world_signature(igdb: &Igdb) -> (usize, usize, usize, String) {
+    (
+        igdb.db.row_count("phys_conn").unwrap(),
+        igdb.db.row_count("asn_conn").unwrap(),
+        igdb.db.row_count("traceroutes").unwrap(),
+        igdb.as_of_date.clone(),
+    )
+}
+
+#[test]
+fn epoch_readers_see_old_or_new_never_torn() {
+    let base = base_snaps();
+    let (prior, _) = Igdb::try_build(&base, &BuildPolicy::lenient()).unwrap();
+    let (next_snaps, _) = generate_delta(
+        prior.source_snapshots(),
+        31,
+        &[DeltaClass::AtlasChurn, DeltaClass::LogicalChurn, DeltaClass::TracerouteChurn],
+    );
+    let (next, _, _) = prior.apply_delta(&next_snaps, &BuildPolicy::lenient()).unwrap();
+    let signatures = vec![world_signature(&prior), world_signature(&next)];
+    let handle = Arc::new(EpochHandle::new(prior));
+    let stop = Arc::new(AtomicBool::new(false));
+    let iterations = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let handle = Arc::clone(&handle);
+            let stop = Arc::clone(&stop);
+            let iterations = Arc::clone(&iterations);
+            let signatures = signatures.clone();
+            std::thread::spawn(move || {
+                let mut seen: BTreeSet<u64> = BTreeSet::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let epoch = handle.current();
+                    let got = world_signature(&epoch.igdb);
+                    assert_eq!(
+                        got, signatures[epoch.number as usize],
+                        "epoch {} observed torn",
+                        epoch.number
+                    );
+                    seen.insert(epoch.number);
+                    iterations.fetch_add(1, Ordering::Relaxed);
+                }
+                seen
+            })
+        })
+        .collect();
+    // Let every reader observe epoch 0, publish mid-flight, then let them
+    // observe epoch 1. Iteration counts instead of sleeps: no flaky
+    // timing assumptions.
+    while iterations.load(Ordering::Relaxed) < 64 {
+        std::thread::yield_now();
+    }
+    assert_eq!(handle.publish(next), 1);
+    let after = iterations.load(Ordering::Relaxed);
+    while iterations.load(Ordering::Relaxed) < after + 64 {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut seen = BTreeSet::new();
+    for r in readers {
+        seen.extend(r.join().expect("reader clean"));
+    }
+    assert!(seen.contains(&1), "no reader ever saw the published epoch");
+}
+
+// ---------------------------------------------------------------------------
+// Golden apply stream
+// ---------------------------------------------------------------------------
+
+/// Mirrors `igdb delta --scale tiny --mesh 400 --seed 7` (keep the
+/// parameters in sync with `cmd_delta` in `crates/serve/src/bin/igdb.rs`
+/// and the CI `delta-determinism` gate) so local `cargo test` catches
+/// drift before CI does.
+#[test]
+fn apply_stream_matches_golden() {
+    let golden_path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/delta.jsonl"
+    ));
+    let base = base_snaps();
+    let (prior, _) = Igdb::try_build(&base, &BuildPolicy::lenient()).unwrap();
+    let classes = [
+        DeltaClass::AtlasChurn,
+        DeltaClass::AtlasPrune,
+        DeltaClass::FacilityChurn,
+        DeltaClass::TracerouteChurn,
+        DeltaClass::LogicalChurn,
+        DeltaClass::RoadChurn,
+    ];
+    let (next, _) = generate_delta(prior.source_snapshots(), 7, &classes);
+    let reg = Registry::new();
+    igdb_par::with_threads(2, || {
+        let _g = reg.install();
+        prior.apply_delta(&next, &BuildPolicy::lenient()).expect("apply");
+    });
+    let got = reg.json_lines(JsonMode::Deterministic);
+    if std::env::var_os("IGDB_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        std::fs::write(&golden_path, &got).unwrap();
+        eprintln!("blessed {}", golden_path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!("{}: {e} (run with IGDB_BLESS=1 to create)", golden_path.display())
+    });
+    assert_eq!(
+        got, want,
+        "delta-apply stream drifted from tests/golden/delta.jsonl \
+         (if intentional, re-bless with IGDB_BLESS=1)"
+    );
+}

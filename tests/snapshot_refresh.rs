@@ -66,6 +66,49 @@ fn churned_snapshot_differs_from_original() {
 }
 
 #[test]
+fn geometry_cache_survives_a_no_geometry_refresh() {
+    // Regression: `append_snapshot` used to drop the parsed-WKT geometry
+    // cache unconditionally, so a refresh that added no `phys_conn` rows
+    // (the common "re-pull the same physical world" case) forced every
+    // held `phys_path_geometries()` reader to reparse. The cache must key
+    // off its actual input — the append-only `phys_conn` row set.
+    let world = World::generate(WorldConfig::tiny());
+    let snaps1 = emit_snapshots(&world, "2022-05-03", 100);
+    let mut igdb = Igdb::build(&snaps1);
+    let warm = igdb.phys_path_geometries();
+    let (warm_ptr, warm_len) = (warm.as_ptr(), warm.len());
+    assert!(warm_len > 0, "tiny world routes at least one corridor");
+
+    // A logical-only refresh: new AS-graph snapshot, no atlas/facility data.
+    let mut snaps2 = snaps1.clone();
+    snaps2.as_of_date = "2022-11-01".into();
+    snaps2.atlas_nodes.clear();
+    snaps2.atlas_links.clear();
+    snaps2.pdb_facilities.clear();
+    igdb.append_snapshot(&snaps2);
+
+    let after = igdb.phys_path_geometries();
+    assert_eq!(
+        (after.as_ptr(), after.len()),
+        (warm_ptr, warm_len),
+        "no new phys_conn rows: the parsed geometry cache must stay warm"
+    );
+
+    // Counter-case: a refresh that DOES add geometry must invalidate, and
+    // the reparsed list covers both dates' rows.
+    let snaps3 = emit_snapshots_churned(&world, "2023-05-01", 100, 0.05);
+    igdb.append_snapshot(&snaps3);
+    let rebuilt = igdb.phys_path_geometries();
+    assert!(
+        rebuilt.len() > warm_len,
+        "geometry append must rebuild the cache over all loaded dates \
+         ({} -> {})",
+        warm_len,
+        rebuilt.len()
+    );
+}
+
+#[test]
 #[should_panic(expected = "already loaded")]
 fn same_date_rejected() {
     let world = World::generate(WorldConfig::tiny());
