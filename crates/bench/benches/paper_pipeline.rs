@@ -121,7 +121,7 @@ fn bench_phys_routing_mesh(c: &mut Criterion) {
     let graph = analysis::physpath::PhysGraph::from_igdb(&f.igdb);
     let traces: Vec<Vec<igdb_net::Ip4>> = f
         .igdb
-        .traces
+        .traces()
         .iter()
         .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
         .collect();

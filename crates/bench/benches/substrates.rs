@@ -102,7 +102,7 @@ fn bench_regex(c: &mut Criterion) {
     )
     .unwrap();
     let f = fixture(Scale::Tiny);
-    let hostnames: Vec<&String> = f.igdb.rdns.values().take(2000).collect();
+    let hostnames: Vec<&igdb_db::Str> = f.igdb.rdns.values().take(2000).collect();
     c.bench_function("hoiho_regex_2k_hostnames", |b| {
         b.iter(|| {
             let mut hits = 0;

@@ -49,11 +49,7 @@ fn main() {
         .position(|a| a == "--metrics")
         .map(|i| args.get(i + 1).expect("--metrics needs a path").clone());
 
-    let cfg = match scale {
-        Scale::Tiny => WorldConfig::tiny(),
-        Scale::Medium => WorldConfig::medium(),
-        Scale::Paper => WorldConfig::paper(),
-    };
+    let cfg = scale.config();
     eprintln!("generating world ({scale:?})…");
     let world = World::generate(cfg);
     let snaps = emit_snapshots(&world, "2022-05-03", scale.mesh_pairs());

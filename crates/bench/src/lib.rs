@@ -21,6 +21,8 @@ pub enum Scale {
     Tiny,
     Medium,
     Paper,
+    Large,
+    Planet,
 }
 
 impl Scale {
@@ -30,7 +32,9 @@ impl Scale {
                 Some("tiny") => Scale::Tiny,
                 Some("medium") => Scale::Medium,
                 Some("paper") => Scale::Paper,
-                other => panic!("unknown --scale {other:?} (tiny|medium|paper)"),
+                Some("large") => Scale::Large,
+                Some("planet") => Scale::Planet,
+                other => panic!("unknown --scale {other:?} (tiny|medium|paper|large|planet)"),
             },
             None => Scale::Medium,
         }
@@ -41,6 +45,8 @@ impl Scale {
             Scale::Tiny => WorldConfig::tiny(),
             Scale::Medium => WorldConfig::medium(),
             Scale::Paper => WorldConfig::paper(),
+            Scale::Large => WorldConfig::large(),
+            Scale::Planet => WorldConfig::planet(),
         }
     }
 
@@ -50,6 +56,8 @@ impl Scale {
             Scale::Tiny => 500,
             Scale::Medium => 2500,
             Scale::Paper => 4000,
+            Scale::Large => 4000,
+            Scale::Planet => 4000,
         }
     }
 }
@@ -73,6 +81,8 @@ impl Fixture {
 static TINY: OnceLock<Fixture> = OnceLock::new();
 static MEDIUM: OnceLock<Fixture> = OnceLock::new();
 static PAPER: OnceLock<Fixture> = OnceLock::new();
+static LARGE: OnceLock<Fixture> = OnceLock::new();
+static PLANET: OnceLock<Fixture> = OnceLock::new();
 
 /// Process-cached fixture for a scale.
 pub fn fixture(scale: Scale) -> &'static Fixture {
@@ -80,6 +90,8 @@ pub fn fixture(scale: Scale) -> &'static Fixture {
         Scale::Tiny => &TINY,
         Scale::Medium => &MEDIUM,
         Scale::Paper => &PAPER,
+        Scale::Large => &LARGE,
+        Scale::Planet => &PLANET,
     };
     cell.get_or_init(|| Fixture::build(scale))
 }

@@ -93,7 +93,7 @@ impl PairIndex {
         // Raw qualifying pairs per trace, extracted in parallel with an
         // in-order merge (chunk order == trace order), so the pair list is
         // identical at any worker count.
-        let raw: Vec<Vec<(Ip4, Ip4)>> = igdb_par::par_chunks(&igdb.traces, |_, chunk| {
+        let raw: Vec<Vec<(Ip4, Ip4)>> = igdb_par::par_chunks(igdb.traces(), |_, chunk| {
             let mut out: Vec<(Ip4, Ip4)> = Vec::new();
             for tr in chunk {
                 // Only TTL-adjacent responding pairs qualify: a gap (star
@@ -404,7 +404,7 @@ pub fn consistency_check(igdb: &Igdb, params: &BeliefPropParams) -> ConsistencyR
     // extraction fans out over traces (rolling previous-hop, no per-trace
     // allocation); the serial merge is additive, so the tallies — and the
     // majority decisions below — are worker-count invariant.
-    let chunks: Vec<Vec<(Ip4, usize)>> = igdb_par::par_chunks(&igdb.traces, |_, chunk| {
+    let chunks: Vec<Vec<(Ip4, usize)>> = igdb_par::par_chunks(igdb.traces(), |_, chunk| {
         let mut out: Vec<(Ip4, usize)> = Vec::new();
         for tr in chunk {
             let mut prev: Option<(Ip4, f64, u8)> = None;
@@ -478,7 +478,7 @@ pub fn missing_locations(igdb: &Igdb, asn: Asn) -> Vec<(usize, String)> {
             continue;
         };
         if !declared.contains(&metro) {
-            found.entry(metro).or_insert_with(|| fqdn.clone());
+            found.entry(metro).or_insert_with(|| fqdn.as_str().to_owned());
         }
         let _ = ip;
     }

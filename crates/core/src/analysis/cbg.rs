@@ -43,7 +43,7 @@ pub fn geolocate_unlocated(igdb: &Igdb, min_constraints: usize) -> Vec<CbgEstima
     // Gather constraints: for each (src probe, hop) pair the hop's RTT
     // bounds its distance from the probe.
     let mut constraints: HashMap<Ip4, Vec<Constraint>> = HashMap::new();
-    for tr in &igdb.traces {
+    for tr in igdb.traces() {
         let Some(src) = igdb.probes.get(&tr.src_anchor) else {
             continue;
         };

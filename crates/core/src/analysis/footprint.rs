@@ -60,11 +60,13 @@ pub fn top_by_countries(igdb: &Igdb, limit: usize) -> Vec<CountryPresenceRow> {
 fn first_name(igdb: &Igdb, asn: Asn, table: &str) -> String {
     igdb.db
         .with_table(table, |t| {
-            // Prefer the ASRank (WHOIS) spelling, else any.
-            let ids = t.lookup("asn", &Value::from(asn.0)).unwrap_or_default();
+            // Prefer the ASRank (WHOIS) spelling, else any. The asn
+            // column is indexed at build time, so this borrows the
+            // posting list instead of materializing id vectors per probe.
+            let ids = t.lookup_ids("asn", &Value::from(asn.0)).unwrap_or_default();
             let mut any = String::new();
-            for id in ids {
-                let row = t.row(id).unwrap();
+            for &id in ids {
+                let row = t.row(id as usize).unwrap();
                 let name = row[1].as_text().unwrap_or("").to_string();
                 let source = row[2].as_text().unwrap_or("");
                 if source == "asrank" {

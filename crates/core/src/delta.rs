@@ -61,6 +61,22 @@ impl Stage {
         Stage::IpResolution,
     ];
 
+    /// Stable lowercase label, used for per-stage perf metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Metros => "metros",
+            Stage::Roads => "roads",
+            Stage::CityTables => "city_tables",
+            Stage::Physical => "physical",
+            Stage::Telegeo => "telegeo",
+            Stage::Logical => "logical",
+            Stage::AsnLoc => "asn_loc",
+            Stage::Probes => "probes",
+            Stage::Traceroutes => "traceroutes",
+            Stage::IpResolution => "ip_resolution",
+        }
+    }
+
     /// Tables this stage writes (used to copy a clean prefix verbatim).
     pub fn tables(self) -> &'static [&'static str] {
         match self {

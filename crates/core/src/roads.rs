@@ -22,12 +22,12 @@ use crate::corridor::PairCache;
 use crate::spath::{ShortestPathEngine, SpWorkspace};
 
 /// One memoized road corridor, oriented from the smaller metro id.
-/// Geometry sits behind an `Arc` so cache hits never copy the polyline.
+/// Only the metro path and length are kept; geometry is re-concatenated
+/// on demand (see [`RoadGraph::route_cached`]).
 #[derive(Clone, Debug)]
 struct RoadRoute {
     path: Vec<usize>,
     km: f64,
-    geometry: Arc<[GeoPoint]>,
 }
 
 /// One loaded road edge.
@@ -195,11 +195,16 @@ impl RoadGraph {
         let key = (from.min(to), from.max(to));
         let cached = self.corridors.get_or_compute(key, || {
             let (path, km) = self.engine.shortest_path_with(ws, key.0, key.1)?;
-            let geometry: Arc<[GeoPoint]> = self.path_geometry(&path)?.into();
-            Some(RoadRoute { path, km, geometry })
+            // Only routes whose geometry concatenates cleanly are cached,
+            // mirroring `route_with_geometry`'s contract.
+            self.path_geometry(&path)?;
+            Some(RoadRoute { path, km })
         })?;
+        // Geometry is re-concatenated per call instead of memoized: the
+        // cached polylines dominated the road graph's resident footprint,
+        // and the concat is a linear walk over already-resident edges.
+        let mut geometry = self.path_geometry(&cached.path).expect("validated at insert");
         let mut path = cached.path;
-        let mut geometry: Vec<GeoPoint> = cached.geometry.to_vec();
         if from > to {
             path.reverse();
             geometry.reverse();

@@ -119,7 +119,7 @@ pub fn run_query_mix(world: &World, igdb: &Igdb) -> QueryMixSummary {
     //    parallel (one report per trace, input order).
     let physpath_reports = guarded(&mut failures, "physpath", || {
         let traces: Vec<Vec<Ip4>> = igdb
-            .traces
+            .traces()
             .iter()
             .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
             .collect();

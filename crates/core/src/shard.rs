@@ -1,0 +1,297 @@
+//! Spatial sharding for planet-scale builds.
+//!
+//! The build's per-metro stages — R-tree spatial joins and right-of-way
+//! routing — are embarrassingly parallel per record, but at 20K+ metros a
+//! flat split scatters each worker across the whole planet: every chunk
+//! touches every part of the spatial index and the corridor cache. A
+//! [`SpatialPartition`] (k-d median cut over metro coordinates) groups the
+//! work by region instead, so one worker's queries stay inside one shard's
+//! bounding box and its resumable shortest-path workspace re-visits the
+//! same neighborhood of the road graph.
+//!
+//! Determinism contract: sharding changes only the *execution grouping*,
+//! never the output. [`sharded_map`] buckets items by shard, fans the
+//! shards out through `igdb-par`, and scatters each pure per-item result
+//! back to the item's original index — byte-identical to a flat
+//! `par_map` at any worker count and shard count. The partition itself is
+//! a pure function of the input coordinates (median cuts with a total
+//! order on floats), so every run at every parallelism builds the same
+//! tree.
+
+use igdb_geo::GeoPoint;
+
+/// Worlds below this metro count keep the flat per-record split: the whole
+/// spatial index fits in cache, so regional grouping has nothing to win,
+/// and the small tiers keep exercising the original code path.
+pub const SHARD_MIN_METROS: usize = 4096;
+
+/// Target number of metros per shard. Shards end in the 512..1024 range:
+/// small enough that a shard's R-tree region and corridor working set stay
+/// cache-resident, large enough that per-shard overhead is noise.
+const TARGET_LEAF: usize = 1024;
+
+#[cfg(test)]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(test)]
+static MIN_METROS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The sharding gate the build consults. Tests can force the sharded path
+/// at small scale with [`force_sharding_for_tests`].
+pub fn shards_enabled(n_metros: usize) -> bool {
+    #[cfg(test)]
+    {
+        let o = MIN_METROS_OVERRIDE.load(Ordering::Relaxed);
+        if o != 0 {
+            return n_metros >= o;
+        }
+    }
+    n_metros >= SHARD_MIN_METROS
+}
+
+/// Lowers the sharding gate so small-scale tests can drive the sharded
+/// code path and assert byte-identity against the flat one.
+#[cfg(test)]
+pub fn force_sharding_for_tests(min_metros: usize) {
+    MIN_METROS_OVERRIDE.store(min_metros, Ordering::Relaxed);
+}
+
+/// One k-d tree node: either a split (dimension + threshold, children) or
+/// a leaf owning a shard id.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    /// `dim` 0 splits on longitude, 1 on latitude; points with
+    /// `coord < threshold` descend left, the rest right.
+    Split { dim: u8, threshold: f64, left: u32, right: u32 },
+    Leaf { shard: u32 },
+}
+
+/// A k-d median cut over a point set, mapping any coordinate to the shard
+/// (leaf cell) containing it.
+#[derive(Debug)]
+pub struct SpatialPartition {
+    nodes: Vec<Node>,
+    n_shards: usize,
+}
+
+impl SpatialPartition {
+    /// Builds the partition over `points` (typically metro centroids),
+    /// splitting on the wider dimension's median until every leaf holds at
+    /// most `target_leaf` points. Pure: identical inputs give identical
+    /// trees at any parallelism.
+    pub fn build(points: &[GeoPoint], target_leaf: usize) -> Self {
+        let target_leaf = target_leaf.max(1);
+        let mut part = SpatialPartition { nodes: Vec::new(), n_shards: 0 };
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        part.split(points, &mut idx, target_leaf, 0);
+        part
+    }
+
+    /// Builds with the default leaf target tuned for metro registries.
+    pub fn over_metros(points: &[GeoPoint]) -> Self {
+        Self::build(points, TARGET_LEAF)
+    }
+
+    fn split(
+        &mut self,
+        points: &[GeoPoint],
+        idx: &mut [u32],
+        target_leaf: usize,
+        depth: u32,
+    ) -> u32 {
+        let at = self.nodes.len() as u32;
+        // Depth cap guards degenerate inputs (all points coincident).
+        if idx.len() <= target_leaf || depth >= 32 {
+            let shard = self.n_shards as u32;
+            self.n_shards += 1;
+            self.nodes.push(Node::Leaf { shard });
+            return at;
+        }
+        // Split the wider extent; ties go to longitude. Extents and
+        // medians use IEEE total order, so NaN-free inputs sort stably.
+        let (mut lo, mut hi) = ([f64::MAX; 2], [f64::MIN; 2]);
+        for &i in idx.iter() {
+            let p = &points[i as usize];
+            for (d, c) in [p.lon, p.lat].into_iter().enumerate() {
+                lo[d] = lo[d].min(c);
+                hi[d] = hi[d].max(c);
+            }
+        }
+        let dim = u8::from(hi[1] - lo[1] > hi[0] - lo[0]);
+        let coord =
+            |i: u32| -> f64 { if dim == 0 { points[i as usize].lon } else { points[i as usize].lat } };
+        let mid = idx.len() / 2;
+        // Stable secondary key (the point index) makes the median unique
+        // even among equal coordinates.
+        idx.sort_unstable_by(|&a, &b| coord(a).total_cmp(&coord(b)).then(a.cmp(&b)));
+        let threshold = coord(idx[mid]);
+        // All points equal on this dim ⇒ unsplittable here; leaf out.
+        if coord(idx[0]).total_cmp(&threshold).is_eq()
+            && coord(idx[idx.len() - 1]).total_cmp(&threshold).is_eq()
+        {
+            let shard = self.n_shards as u32;
+            self.n_shards += 1;
+            self.nodes.push(Node::Leaf { shard });
+            return at;
+        }
+        // `locate` descends by `coord < threshold`, so the split point must
+        // be the first index whose coordinate reaches the threshold — not
+        // the positional median — or boundary points would land in a leaf
+        // that `locate` never returns for them.
+        let split_at = idx.partition_point(|&i| coord(i) < threshold);
+        self.nodes.push(Node::Leaf { shard: 0 }); // placeholder, patched below
+        let (l_idx, r_idx) = idx.split_at_mut(split_at);
+        let left = self.split(points, l_idx, target_leaf, depth + 1);
+        let right = self.split(points, r_idx, target_leaf, depth + 1);
+        self.nodes[at as usize] = Node::Split { dim, threshold, left, right };
+        at
+    }
+
+    /// Number of leaf cells (parallel work units).
+    pub fn shard_count(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard whose cell contains `p`. Total: every coordinate maps to
+    /// exactly one leaf, including points outside the build set's bounds.
+    pub fn locate(&self, p: &GeoPoint) -> usize {
+        let mut at = 0usize;
+        loop {
+            match self.nodes[at] {
+                Node::Leaf { shard } => return shard as usize,
+                Node::Split { dim, threshold, left, right } => {
+                    let c = if dim == 0 { p.lon } else { p.lat };
+                    at = if c < threshold { left } else { right } as usize;
+                }
+            }
+        }
+    }
+
+    /// Buckets item indices by shard. Each bucket is ascending (input
+    /// order), and the bucket list is in shard order — the deterministic
+    /// unit of parallel work.
+    pub fn bucket_by<T>(&self, items: &[T], loc: impl Fn(&T) -> GeoPoint) -> Vec<Vec<u32>> {
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); self.n_shards];
+        for (i, item) in items.iter().enumerate() {
+            buckets[self.locate(&loc(item))].push(i as u32);
+        }
+        buckets
+    }
+}
+
+/// Runs a pure per-item function over `items` grouped by spatial shard,
+/// through `igdb-par`, and scatters the results back into input order.
+/// Byte-identical to `igdb_par::par_map(items, f)` at any worker count —
+/// only the grouping (and therefore each worker's locality) changes.
+pub fn sharded_map<T, R>(
+    part: &SpatialPartition,
+    items: &[T],
+    loc: impl Fn(&T) -> GeoPoint,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let buckets = part.bucket_by(items, loc);
+    let per_shard: Vec<Vec<(u32, R)>> = igdb_par::par_map(&buckets, |bucket| {
+        bucket.iter().map(|&i| (i, f(&items[i as usize]))).collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for shard in per_shard {
+        for (i, r) in shard {
+            out[i as usize] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every item bucketed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<GeoPoint> {
+        // Deterministic scatter over a lon/lat box, no RNG needed.
+        (0..n)
+            .map(|i| {
+                GeoPoint::new(
+                    ((i * 61) % 320) as f64 - 160.0 + (i % 11) as f64 * 0.01,
+                    ((i * 37) % 140) as f64 - 70.0 + (i % 7) as f64 * 0.01,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_build_point_lands_in_its_leaf() {
+        let pts = grid(5000);
+        let part = SpatialPartition::build(&pts, 256);
+        assert!(part.shard_count() >= 2);
+        let buckets = part.bucket_by(&pts, |p| *p);
+        let total: usize = buckets.iter().map(Vec::len).sum();
+        assert_eq!(total, pts.len());
+        // locate() agrees with bucket_by() for every member.
+        for (shard, bucket) in buckets.iter().enumerate() {
+            for &i in bucket {
+                assert_eq!(part.locate(&pts[i as usize]), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_respect_target_size() {
+        let pts = grid(5000);
+        let part = SpatialPartition::build(&pts, 256);
+        for bucket in part.bucket_by(&pts, |p| *p) {
+            assert!(bucket.len() <= 256, "leaf of {} exceeds target", bucket.len());
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let pts = grid(3000);
+        let a = SpatialPartition::build(&pts, 128);
+        let b = SpatialPartition::build(&pts, 128);
+        assert_eq!(a.shard_count(), b.shard_count());
+        for p in &pts {
+            assert_eq!(a.locate(p), b.locate(p));
+        }
+    }
+
+    #[test]
+    fn coincident_points_terminate() {
+        let pts = vec![GeoPoint::new(10.0, 20.0); 500];
+        let part = SpatialPartition::build(&pts, 16);
+        assert_eq!(part.shard_count(), 1);
+        assert_eq!(part.locate(&pts[0]), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_points_still_map() {
+        let pts = grid(1000);
+        let part = SpatialPartition::build(&pts, 64);
+        for p in [
+            GeoPoint::new(179.9, 89.9),
+            GeoPoint::new(-179.9, -89.9),
+            GeoPoint::new(0.0, 0.0),
+        ] {
+            assert!(part.locate(&p) < part.shard_count());
+        }
+    }
+
+    #[test]
+    fn sharded_map_matches_flat_map_at_any_worker_count() {
+        let pts = grid(2000);
+        let part = SpatialPartition::build(&pts, 100);
+        let f = |p: &GeoPoint| ((p.lat * 3.0 + p.lon) * 1e6) as i64;
+        let flat: Vec<i64> = pts.iter().map(f).collect();
+        for workers in [1, 2, 5] {
+            let sharded = igdb_par::with_threads(workers, || {
+                sharded_map(&part, &pts, |p| *p, f)
+            });
+            assert_eq!(sharded, flat, "workers={workers}");
+        }
+    }
+}

@@ -75,6 +75,38 @@ pub struct CleanSnapshots<'a> {
 }
 
 impl CleanSnapshots<'_> {
+    /// True if screening changed any source (quarantined records, FK
+    /// cascades). When false, every field still borrows the original set —
+    /// the build consumed exactly its input, and an owned caller can reuse
+    /// the input set instead of materializing a copy.
+    pub fn is_modified(&self) -> bool {
+        fn owned<T: Clone>(c: &Cow<'_, [T]>) -> bool {
+            matches!(c, Cow::Owned(_))
+        }
+        owned(&self.atlas_nodes)
+            || owned(&self.atlas_links)
+            || owned(&self.pdb_facilities)
+            || owned(&self.pdb_networks)
+            || owned(&self.pdb_netfac)
+            || owned(&self.pdb_ix)
+            || owned(&self.pdb_netix)
+            || owned(&self.pch_ixps)
+            || owned(&self.he_exchanges)
+            || owned(&self.euroix)
+            || owned(&self.rdns)
+            || owned(&self.asrank_entries)
+            || owned(&self.asrank_links)
+            || owned(&self.ripe_anchors)
+            || owned(&self.ripe_traceroutes)
+            || owned(&self.natural_earth)
+            || owned(&self.roads)
+            || owned(&self.telegeo)
+            || owned(&self.bgp_prefixes)
+            || owned(&self.anycast_prefixes)
+            || owned(&self.hoiho_rules)
+            || owned(&self.geo_codes)
+    }
+
     /// Materializes the screened view as an owned [`SnapshotSet`] — the
     /// exact record set the build consumed, with every quarantined record
     /// already removed. [`crate::delta::diff_snapshots`] diffs against
@@ -355,7 +387,7 @@ pub fn validate<'a>(
     let atlas_nodes = s.screen(
         SourceId::AtlasNodes,
         &snaps.atlas_nodes,
-        |n| Some(n.node_name.clone()),
+        |n| Some(n.node_name.to_string()),
         |n| screen_point(&n.loc, "lat", "lon"),
     )?;
     let node_names: HashSet<&str> = atlas_nodes.iter().map(|n| n.node_name.as_str()).collect();
@@ -368,7 +400,7 @@ pub fn validate<'a>(
                 if !node_names.contains(name.as_str()) {
                     return Err(RecordError::DanglingRef {
                         field: "node",
-                        key: name.clone(),
+                        key: name.to_string(),
                     });
                 }
             }

@@ -22,43 +22,46 @@ use crate::{DbError, Result};
 
 /// Serializes a table to CSV text.
 pub fn table_to_csv(table: &Table) -> String {
-    let mut out = String::new();
-    out.push_str("#types");
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("CSV output is UTF-8")
+}
+
+/// Streams a table as CSV into `w` — byte-for-byte what [`table_to_csv`]
+/// returns, without materializing the whole document (the big relations at
+/// planet scale would double resident memory during a save).
+pub fn write_csv<W: std::io::Write>(table: &Table, w: &mut W) -> Result<()> {
+    let io = |e: std::io::Error| DbError::Io(e.to_string());
+    w.write_all(b"#types").map_err(io)?;
     for c in table.schema().columns() {
-        out.push(',');
-        out.push_str(c.ty.tag());
+        w.write_all(b",").map_err(io)?;
+        w.write_all(c.ty.tag().as_bytes()).map_err(io)?;
         if c.nullable {
-            out.push('?');
+            w.write_all(b"?").map_err(io)?;
         }
     }
-    out.push('\n');
-    let names: Vec<&str> = table
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| c.name.as_str())
-        .collect();
-    out.push_str(
-        &names
-            .iter()
-            .map(|n| escape_field(n, false))
-            .collect::<Vec<_>>()
-            .join(","),
-    );
-    out.push('\n');
-    for (_, row) in table.iter() {
-        let fields: Vec<String> = row
-            .iter()
-            .map(|v| match v {
-                Value::Null => String::new(),
-                Value::Text(s) => escape_field(s, true),
-                other => other.to_string(),
-            })
-            .collect();
-        out.push_str(&fields.join(","));
-        out.push('\n');
+    w.write_all(b"\n").map_err(io)?;
+    for (i, c) in table.schema().columns().iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",").map_err(io)?;
+        }
+        w.write_all(escape_field(&c.name, false).as_bytes()).map_err(io)?;
     }
-    out
+    w.write_all(b"\n").map_err(io)?;
+    for (_, row) in table.iter() {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                w.write_all(b",").map_err(io)?;
+            }
+            match v {
+                Value::Null => {}
+                Value::Text(s) => w.write_all(escape_field(s, true).as_bytes()).map_err(io)?,
+                other => write!(w, "{other}").map_err(io)?,
+            }
+        }
+        w.write_all(b"\n").map_err(io)?;
+    }
+    Ok(())
 }
 
 /// One data row the lenient reader could not load: its 1-based file line
@@ -165,7 +168,11 @@ fn parse_row(line: &str, table: &Table) -> Result<Vec<Value>> {
 
 /// Writes a table to a file.
 pub fn save_table(table: &Table, path: &std::path::Path) -> Result<()> {
-    std::fs::write(path, table_to_csv(table)).map_err(|e| DbError::Io(e.to_string()))
+    let f = std::fs::File::create(path).map_err(|e| DbError::Io(e.to_string()))?;
+    let mut w = std::io::BufWriter::new(f);
+    write_csv(table, &mut w)?;
+    use std::io::Write as _;
+    w.flush().map_err(|e| DbError::Io(e.to_string()))
 }
 
 /// Reads a table from a file.
@@ -207,7 +214,7 @@ fn parse_value(f: &Field, col: &ColumnDef) -> Result<Value> {
             "false" => Ok(Value::Bool(false)),
             other => Err(DbError::Format(format!("bad bool '{other}'"))),
         },
-        ColumnType::Text | ColumnType::Geometry => Ok(Value::Text(f.raw.clone())),
+        ColumnType::Text | ColumnType::Geometry => Ok(Value::text(f.raw.as_str())),
     }
 }
 

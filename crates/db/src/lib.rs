@@ -24,6 +24,7 @@
 
 pub mod csv;
 pub mod database;
+pub mod intern;
 pub mod query;
 pub mod schema;
 pub mod table;
@@ -31,6 +32,7 @@ pub mod value;
 
 pub use csv::{load_table_lenient, table_from_csv_lenient, RowIssue};
 pub use database::Database;
+pub use intern::Str;
 pub use query::{Aggregate, Predicate, Query};
 pub use schema::{ColumnDef, ColumnType, Schema};
 pub use table::Table;

@@ -171,18 +171,26 @@ impl<'t> Query<'t> {
 
     /// Matching row ids after filter + sort + limit (before projection).
     pub fn row_ids(&self) -> Result<Vec<usize>> {
-        // Seed from an index when the predicate pins one.
-        let candidates: Vec<usize> = if let Some((col, val)) = self.predicate.index_seed(self.table)
-        {
-            self.table.lookup(col, val)?
-        } else {
-            (0..self.table.len()).collect()
-        };
+        // Seed from an index when the predicate pins one. `lookup_ids`
+        // borrows the index's own posting list, so the seeded path does
+        // not materialize a candidate vector at all.
         let mut ids = Vec::new();
-        for id in candidates {
-            let row = self.table.row(id).expect("candidate id in range");
-            if self.predicate.eval(self.table, row)? {
-                ids.push(id);
+        {
+            let mut consider = |id: usize| -> Result<()> {
+                let row = self.table.row(id).expect("candidate id in range");
+                if self.predicate.eval(self.table, row)? {
+                    ids.push(id);
+                }
+                Ok(())
+            };
+            if let Some((col, val)) = self.predicate.index_seed(self.table) {
+                for &id in self.table.lookup_ids(col, val)? {
+                    consider(id as usize)?;
+                }
+            } else {
+                for id in 0..self.table.len() {
+                    consider(id)?;
+                }
             }
         }
         if !self.order.is_empty() {
@@ -413,12 +421,14 @@ pub fn hash_join(
     let rc = right.schema().index_of(right_col)?;
     let mut out = Vec::new();
     if right.has_index(right_col) {
+        // Probe the index per left row; `lookup_ids` borrows each posting
+        // list instead of allocating a fresh id vector per probe.
         for (lid, lrow) in left.iter() {
             if lrow[lc].is_null() {
                 continue;
             }
-            for rid in right.lookup(right_col, &lrow[lc])? {
-                out.push((lid, rid));
+            for &rid in right.lookup_ids(right_col, &lrow[lc])? {
+                out.push((lid, rid as usize));
             }
         }
         return Ok(out);

@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+use crate::intern::Str;
+
 /// A single cell value. `Null` sorts before everything; `Float` uses a
 /// total order (NaN sorts last among floats) so rows can always be sorted.
 #[derive(Clone, Debug, PartialEq)]
@@ -10,13 +12,17 @@ pub enum Value {
     Null,
     Int(i64),
     Float(f64),
-    Text(String),
+    Text(Str),
     Bool(bool),
 }
 
+// Cells live in a flat per-table arena; the packed `Str` keeps a cell at
+// two words. Regressing this silently would inflate every table by 50%.
+const _: () = assert!(std::mem::size_of::<Value>() == 16);
+
 impl Value {
-    /// Text helper that avoids allocation at call sites.
-    pub fn text(s: impl Into<String>) -> Self {
+    /// Text helper; short strings intern to a shared symbol pool.
+    pub fn text(s: impl Into<Str>) -> Self {
         Value::Text(s.into())
     }
 
@@ -43,7 +49,7 @@ impl Value {
 
     pub fn as_text(&self) -> Option<&str> {
         match self {
-            Value::Text(s) => Some(s),
+            Value::Text(s) => Some(s.as_str()),
             _ => None,
         }
     }
@@ -105,7 +111,7 @@ pub enum ValueKey {
     Null,
     Int(i64),
     Float(u64),
-    Text(String),
+    Text(Str),
     Bool(bool),
 }
 
@@ -143,12 +149,12 @@ impl From<f64> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Text(v.to_string())
+        Value::Text(Str::new(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Text(v)
+        Value::Text(Str::from(v))
     }
 }
 impl From<bool> for Value {

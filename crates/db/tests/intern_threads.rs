@@ -1,0 +1,65 @@
+//! Interner behavior under parallel interning, and the fingerprint's
+//! independence from intern order — the two properties the planet-scale
+//! build leans on when worker threads intern hostnames concurrently.
+
+use igdb_db::{ColumnDef, ColumnType, Database, Schema, Str, Value};
+
+/// Every thread resolving the same string must get the same symbol (the
+/// interner is process-global), and symbols must round-trip to the exact
+/// original content regardless of which thread interned first.
+#[test]
+fn symbols_agree_across_worker_threads() {
+    let names: Vec<String> = (0..512).map(|i| format!("xthread-metro-{i}")).collect();
+    let baseline: Vec<(Option<u32>, String)> = names
+        .iter()
+        .map(|n| {
+            let s = Str::new(n);
+            (s.sym(), s.as_str().to_string())
+        })
+        .collect();
+    for workers in [1, 4] {
+        let resolved = igdb_par::with_threads(workers, || {
+            igdb_par::par_map(&names, |n| {
+                let s = Str::new(n);
+                (s.sym(), s.as_str().to_string())
+            })
+        });
+        assert_eq!(resolved, baseline, "workers={workers}");
+    }
+}
+
+/// The database fingerprint renders text by content, never by symbol id,
+/// so two databases with identical rows fingerprint identically even when
+/// their strings were interned in opposite orders (different symbol ids).
+#[test]
+fn fingerprint_is_intern_order_independent() {
+    let rows: Vec<[String; 2]> = (0..64)
+        .map(|i| [format!("fporder-key-{i}"), format!("fporder-val-{}", i * 7)])
+        .collect();
+    let build = |reverse: bool| {
+        // Force a different id assignment by pre-interning in the chosen
+        // order before any row is inserted.
+        let mut order: Vec<&String> = rows.iter().flatten().collect();
+        if reverse {
+            order.reverse();
+        }
+        for s in order {
+            let _ = Str::new(s);
+        }
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("k", ColumnType::Text),
+                ColumnDef::new("v", ColumnType::Text),
+            ]),
+        )
+        .unwrap();
+        for [k, v] in &rows {
+            db.insert("t", vec![Value::text(k), Value::text(v)]).unwrap();
+        }
+        db.with_table_mut("t", |t| t.create_index("k")).unwrap().unwrap();
+        db.fingerprint()
+    };
+    assert_eq!(build(false), build(true));
+}

@@ -11,7 +11,7 @@ fn arb_value_for(ty: ColumnType, nullable: bool) -> BoxedStrategy<Value> {
         ColumnType::Float => (-1e9f64..1e9).prop_map(Value::Float).boxed(),
         ColumnType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
         ColumnType::Text | ColumnType::Geometry => r#"[ -~]{0,24}"#
-            .prop_map(Value::Text)
+            .prop_map(|s: String| Value::text(s))
             .boxed(),
     };
     if nullable {
@@ -64,7 +64,7 @@ proptest! {
         let mut indexed = {
             let mut t2 = Table::new(t.schema().clone());
             for r in t.rows() {
-                t2.insert(r.clone()).unwrap();
+                t2.insert(r.to_vec()).unwrap();
             }
             t2.create_index("k").unwrap();
             t2
@@ -134,7 +134,7 @@ proptest! {
     fn value_total_order_is_transitive(
         a in any::<i64>().prop_map(Value::Int),
         b in (-1e6f64..1e6).prop_map(Value::Float),
-        c in r#"[ -~]{0,8}"#.prop_map(Value::Text),
+        c in r#"[ -~]{0,8}"#.prop_map(|s: String| Value::text(s)),
     ) {
         use std::cmp::Ordering::*;
         let vals = [Value::Null, a, b, c, Value::Bool(true)];
@@ -147,5 +147,24 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn interned_text_roundtrips(s in r#"[ -~]{0,80}"#) {
+        // Through the interner directly…
+        let st = igdb_db::Str::new(&s);
+        prop_assert_eq!(st.as_str(), s.as_str());
+        prop_assert_eq!(st.to_string(), s.clone());
+        prop_assert_eq!(igdb_db::Str::from(s.clone()), st.clone());
+        // …and through a Value cell.
+        let v = Value::text(s.clone());
+        prop_assert_eq!(v.as_text(), Some(s.as_str()));
+    }
+
+    #[test]
+    fn str_order_matches_str(a in r#"[ -~]{0,80}"#, b in r#"[ -~]{0,80}"#) {
+        let (sa, sb) = (igdb_db::Str::new(&a), igdb_db::Str::new(&b));
+        prop_assert_eq!(sa.cmp(&sb), a.as_str().cmp(b.as_str()));
+        prop_assert_eq!(sa == sb, a == b);
     }
 }

@@ -100,6 +100,8 @@ fn io_ctx<T>(
 }
 
 fn main() -> ExitCode {
+    // Batch pipeline: keep peak RSS at the live set, not allocator history.
+    igdb_core::igdb_obs::use_mmap_for_large_allocs(128 * 1024);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().map(String::as_str) else {
         eprintln!("{USAGE}");
@@ -139,7 +141,7 @@ const USAGE: &str = "\
 usage: igdb <command> [options]
 
 commands:
-  build   --out DIR [--scale tiny|medium] [--date YYYY-MM-DD] [--mesh N]
+  build   --out DIR [--scale tiny|medium|large|planet] [--date YYYY-MM-DD] [--mesh N]
           [--policy strict|lenient] [--drop-above FRAC] [--report [FILE]]
           [--corrupt SEED] [--metrics FILE.jsonl] [--trace]
           generate source snapshots, run the pipeline, save the database;
@@ -158,18 +160,18 @@ commands:
           structurally (timing ignored); perf counters and histograms are
           compared only when --perf-tolerance gives a relative band.
           Exits 2 with a per-metric delta table on divergence
-  queries --out FILE.jsonl [--scale tiny|medium] [--date YYYY-MM-DD]
+  queries --out FILE.jsonl [--scale tiny|medium|large|planet] [--date YYYY-MM-DD]
           [--mesh N] [--deterministic]
           build a database and serve the fixed synthetic query mix (all
           five analyses), writing serving telemetry as JSON-lines;
           --deterministic redacts timing (the committed-baseline format)
-  delta   --out FILE.jsonl [--scale tiny|medium] [--date YYYY-MM-DD]
+  delta   --out FILE.jsonl [--scale tiny|medium|large|planet] [--date YYYY-MM-DD]
           [--mesh N] [--seed N]
           build a database, derive a seeded churn delta from its sources,
           and apply it incrementally, writing the apply's deterministic
           counter/span stream as JSON-lines (the committed-baseline
           format gated by `metrics diff` in CI)
-  serve   (--listen HOST:PORT | --unix PATH) [--scale tiny|medium]
+  serve   (--listen HOST:PORT | --unix PATH) [--scale tiny|medium|large|planet]
           [--date YYYY-MM-DD] [--mesh N] [--workers N] [--queue N]
           [--deadline-ms N] [--metrics FILE.jsonl]
           [--churn-ms N [--churn-seed N]]
@@ -181,7 +183,7 @@ commands:
           every N ms and publishes it as a new epoch while serving —
           in-flight requests finish on the epoch they started on
   loadgen [--addr HOST:PORT|unix:PATH] [--requests N] [--conns N]
-          [--seed N] [--qps Q] [--deadline-ms N] [--scale tiny|medium]
+          [--seed N] [--qps Q] [--deadline-ms N] [--scale tiny|medium|large|planet]
           [--mesh N] [--workers N] [--queue N] [--out FILE.jsonl]
           [--deterministic]
           replay a seeded query mix and report throughput and latency
@@ -219,6 +221,17 @@ fn flags(args: &[String], name: &str) -> Vec<String> {
     out
 }
 
+/// Shared `--scale` parser; every subcommand accepts the same tiers.
+fn parse_scale(scale: &str) -> Result<WorldConfig, String> {
+    match scale {
+        "tiny" => Ok(WorldConfig::tiny()),
+        "medium" => Ok(WorldConfig::medium()),
+        "large" => Ok(WorldConfig::large()),
+        "planet" => Ok(WorldConfig::planet()),
+        other => Err(format!("unknown --scale '{other}' (tiny|medium|large|planet)")),
+    }
+}
+
 fn require(args: &[String], name: &str) -> Result<String, String> {
     flag(args, name).ok_or_else(|| format!("missing required option {name}"))
 }
@@ -231,11 +244,7 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
         .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
         .transpose()?
         .unwrap_or(500);
-    let config = match scale.as_str() {
-        "tiny" => WorldConfig::tiny(),
-        "medium" => WorldConfig::medium(),
-        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
-    };
+    let config = parse_scale(&scale)?;
     let policy = match flag(args, "--policy").as_deref() {
         None | Some("lenient") => BuildPolicy::lenient(),
         Some("strict") => BuildPolicy::strict(),
@@ -279,6 +288,12 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let world = World::generate(config);
     eprintln!("emitting snapshots for {date}…");
     let mut snaps = emit_snapshots(&world, &date, mesh);
+    // The world is only needed to emit sources; at planet scale keeping its
+    // routing tables alive through the build costs more RSS than the build.
+    drop(world);
+    // Return the generator's freed pages before the build stacks its own
+    // working set on top of them (keeps peak RSS ≈ live data).
+    igdb_core::igdb_obs::trim_heap();
     if let Some(seed) = flag(args, "--corrupt") {
         let seed: u64 = seed.parse().map_err(|e| format!("bad --corrupt: {e}"))?;
         let ledger = inject_faults(&mut snaps, seed, &FaultClass::ALL_RECORD_CLASSES);
@@ -288,7 +303,9 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let registry = igdb_obs::Registry::new();
     let (igdb, report) = {
         let _g = registry.install();
-        Igdb::try_build(&snaps, &policy)?
+        // Build-and-save never diffs or re-queries raw snapshots, so the
+        // scratch build can hand each source back mid-pipeline.
+        Igdb::try_build_scratch(snaps, &policy)?
     };
     match &report_dest {
         Some(None) => println!("{report}"),
@@ -315,9 +332,34 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
     if want_trace {
         eprint!("{}", render_spans(&registry));
     }
+    if let Some(p) = flag(args, "--counters").map(PathBuf::from) {
+        // The deterministic counter stream only (no perf-class metrics):
+        // byte-diffable across worker counts and shortest-path modes.
+        io_ctx(
+            std::fs::write(&p, registry.counter_snapshot()),
+            "write counters file",
+            &p,
+        )?;
+        eprintln!("wrote counter stream to {}", p.display());
+    }
     igdb.db.save_dir(&out).map_err(|e| e.to_string())?;
     eprintln!("saved {} relations to {}", igdb.db.table_names().len(), out.display());
+    if args.iter().any(|a| a == "--fingerprint") {
+        println!("fingerprint {:016x}", fingerprint_hash(&igdb.db.fingerprint()));
+    }
     Ok(())
+}
+
+/// FNV-1a 64 over the canonical database fingerprint: a short,
+/// platform-stable digest CI can compare across worker counts without
+/// shipping the multi-megabyte fingerprint itself.
+fn fingerprint_hash(fp: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in fp.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The span tree, indented by depth, durations in ms.
@@ -405,11 +447,7 @@ fn cmd_queries(args: &[String]) -> Result<(), CliError> {
         .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
         .transpose()?
         .unwrap_or(500);
-    let config = match scale.as_str() {
-        "tiny" => WorldConfig::tiny(),
-        "medium" => WorldConfig::medium(),
-        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
-    };
+    let config = parse_scale(&scale)?;
     let mode = if args.iter().any(|a| a == "--deterministic") {
         igdb_obs::JsonMode::Deterministic
     } else {
@@ -468,11 +506,7 @@ fn cmd_delta(args: &[String]) -> Result<(), CliError> {
         .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
         .transpose()?
         .unwrap_or(7);
-    let config = match scale.as_str() {
-        "tiny" => WorldConfig::tiny(),
-        "medium" => WorldConfig::medium(),
-        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
-    };
+    let config = parse_scale(&scale)?;
     use std::io::Write as _;
     let mut out_file = io_ctx(std::fs::File::create(&out), "create metrics file", &out)?;
 
@@ -527,11 +561,7 @@ fn synth_igdb(args: &[String]) -> Result<Igdb, CliError> {
         .map(|m| m.parse().map_err(|e| format!("bad --mesh: {e}")))
         .transpose()?
         .unwrap_or(500);
-    let config = match scale.as_str() {
-        "tiny" => WorldConfig::tiny(),
-        "medium" => WorldConfig::medium(),
-        other => return Err(format!("unknown --scale '{other}' (tiny|medium)").into()),
-    };
+    let config = parse_scale(&scale)?;
     eprintln!("generating world ({scale})…");
     let world = World::generate(config);
     eprintln!("emitting snapshots for {date}…");

@@ -187,7 +187,7 @@ fn atlas_churn(snaps: &mut SnapshotSet, rng: &mut StdRng, ledger: &mut Vec<Delta
         let name = format!("{} delta-PoP {}", anchor.network, snaps.atlas_nodes.len());
         snaps.atlas_nodes.push(AtlasNode {
             network: anchor.network.clone(),
-            node_name: name.clone(),
+            node_name: name.clone().into(),
             city_label: anchor.city_label.clone(),
             country: anchor.country.clone(),
             loc: GeoPoint::new(anchor.loc.lon + 0.05, anchor.loc.lat + 0.05),
@@ -197,7 +197,7 @@ fn atlas_churn(snaps: &mut SnapshotSet, rng: &mut StdRng, ledger: &mut Vec<Delta
             snaps.atlas_links.push(AtlasLink {
                 network: anchor.network,
                 from_node: anchor.node_name,
-                to_node: name.clone(),
+                to_node: name.clone().into(),
                 link_type: template.link_type,
             });
             op(ledger, class, SourceId::AtlasLinks, DeltaKind::Added, &name);

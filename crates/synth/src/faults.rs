@@ -253,7 +253,7 @@ pub fn inject_faults(
             }
             FaultClass::DanglingAtlasLink => {
                 for i in pick_indices(&mut rng, 0, snaps.atlas_links.len()) {
-                    snaps.atlas_links[i].from_node = format!("ghost-pop-{seed}-{i}");
+                    snaps.atlas_links[i].from_node = format!("ghost-pop-{seed}-{i}").into();
                     hit(&mut ledger, i);
                 }
             }

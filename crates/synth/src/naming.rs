@@ -3,7 +3,8 @@
 //! Real ISPs encode location hints in router hostnames
 //! (`be2695.rcr21.drs01.atlas.cogentco.com` → Dresden), and Hoiho ships the
 //! regexes that extract them (paper §4.2). Here we build the synthetic
-//! equivalent: a collision-free 3-letter geocode per city, per-AS hostname
+//! equivalent: a collision-free geocode per city (3 letters, spilling
+//! to 4 at planet scale), per-AS hostname
 //! conventions in three styles (geocode, city-name, opaque), and the
 //! matching Hoiho-style rule set (regex strings consumed by `igdb-core`'s
 //! rule engine, exactly like the downloadable Hoiho file).
@@ -22,31 +23,52 @@ pub struct GeoCodebook {
 
 impl GeoCodebook {
     /// Assigns every city a unique code: the natural `base_geocode`, or the
-    /// first free mutation of it.
+    /// first free mutation of it. Worlds past the 26³ space (17,576 codes —
+    /// enough for the paper's 7,342 urban areas, not for the large/planet
+    /// tiers) spill the remaining cities into 4-letter codes; assignments
+    /// inside the 3-letter space are unaffected, so smaller worlds emit
+    /// byte-identical codebooks.
     pub fn build(cities: &[City]) -> Self {
+        const SPACE3: usize = 26 * 26 * 26;
+        let render3 = |n: usize| {
+            format!(
+                "{}{}{}",
+                (b'a' + (n / 676) as u8) as char,
+                (b'a' + (n / 26 % 26) as u8) as char,
+                (b'a' + (n % 26) as u8) as char
+            )
+        };
         let mut code_of = Vec::with_capacity(cities.len());
         let mut city_of: HashMap<String, usize> = HashMap::new();
+        // Count of assigned 3-letter codes: once the space is full, later
+        // cities skip straight to the 4-letter spill instead of probing
+        // all 17,576 occupied slots.
+        let mut used3 = 0usize;
         for city in cities {
             let base = base_geocode(&city.name);
             // Treat the code as a base-26 number and probe upward (with
-            // wraparound) until a free slot appears — the full 26³ space
-            // (17,576 codes) comfortably covers the 7,342 urban areas.
+            // wraparound) until a free slot appears.
             let b = base.as_bytes();
             let mut n = (b[0] - b'a') as usize * 676
                 + (b[1] - b'a') as usize * 26
                 + (b[2] - b'a') as usize;
             let mut code = base.clone();
-            let mut probes = 0usize;
-            while city_of.contains_key(&code) {
-                n = (n + 1) % (26 * 26 * 26);
-                code = format!(
-                    "{}{}{}",
-                    (b'a' + (n / 676) as u8) as char,
-                    (b'a' + (n / 26 % 26) as u8) as char,
-                    (b'a' + (n % 26) as u8) as char
-                );
-                probes += 1;
-                assert!(probes <= 26 * 26 * 26, "geocode space exhausted for {}", city.name);
+            if used3 >= SPACE3 {
+                // Spill: probe the 26⁴ space from the same base position.
+                // The Hoiho geocode rule captures `[a-z]{3,4}`, so spilled
+                // codes stay resolvable.
+                let mut m = n * 26;
+                code = format!("{}{}", render3(m / 26), (b'a' + (m % 26) as u8) as char);
+                while city_of.contains_key(&code) {
+                    m = (m + 1) % (SPACE3 * 26);
+                    code = format!("{}{}", render3(m / 26), (b'a' + (m % 26) as u8) as char);
+                }
+            } else {
+                while city_of.contains_key(&code) {
+                    n = (n + 1) % SPACE3;
+                    code = render3(n);
+                }
+                used3 += 1;
             }
             city_of.insert(code.clone(), city.id);
             code_of.push(code);
@@ -153,7 +175,7 @@ pub fn hoiho_rules(ases: &[SynthAs]) -> Vec<HoihoRule> {
         let dom = brand_domain(&a.names.brand);
         match a.rdns_style {
             RdnsStyle::GeoCode => rules.push(HoihoRule {
-                pattern: format!(r"\.rcr\d+\.([a-z]{{3}})\d{{2}}\.atlas\.{dom}\.com$"),
+                pattern: format!(r"\.rcr\d+\.([a-z]{{3,4}})\d{{2}}\.atlas\.{dom}\.com$"),
                 token_kind: TokenKind::GeoCode,
                 domain: format!("{dom}.com"),
             }),

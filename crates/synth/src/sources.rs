@@ -22,18 +22,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::ases::AsClass;
+use igdb_db::Str;
+
 use crate::world::World;
 
 /// One Internet Atlas PoP entry.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AtlasNode {
     /// Owning network's name as Atlas records it (search-derived).
-    pub network: String,
+    pub network: Str,
     /// Node label, e.g. "Veralink Kansas City PoP 2".
-    pub node_name: String,
+    pub node_name: Str,
     /// Free-text city label with inconsistent formatting.
-    pub city_label: String,
-    pub country: String,
+    pub city_label: Str,
+    pub country: Str,
     pub loc: GeoPoint,
 }
 
@@ -53,9 +55,9 @@ pub enum LinkType {
 /// stresses exact paths are withheld for security).
 #[derive(Clone, Debug, PartialEq)]
 pub struct AtlasLink {
-    pub network: String,
-    pub from_node: String,
-    pub to_node: String,
+    pub network: Str,
+    pub from_node: Str,
+    pub to_node: Str,
     pub link_type: LinkType,
 }
 
@@ -132,7 +134,7 @@ pub struct EuroIxEntry {
 #[derive(Clone, Debug, PartialEq)]
 pub struct RdnsRecord {
     pub ip: Ip4,
-    pub hostname: String,
+    pub hostname: Str,
 }
 
 /// AS Rank per-AS row.
@@ -247,6 +249,66 @@ pub struct SnapshotSet {
     pub geo_codes: Vec<(String, usize)>,
 }
 
+impl SnapshotSet {
+    /// An empty set for `as_of_date` — a placeholder for callers that
+    /// swap a real set in immediately (see `Igdb::try_build_owned`).
+    pub fn empty(as_of_date: impl Into<String>) -> Self {
+        SnapshotSet {
+            as_of_date: as_of_date.into(),
+            atlas_nodes: Vec::new(),
+            atlas_links: Vec::new(),
+            pdb_facilities: Vec::new(),
+            pdb_networks: Vec::new(),
+            pdb_netfac: Vec::new(),
+            pdb_ix: Vec::new(),
+            pdb_netix: Vec::new(),
+            pch_ixps: Vec::new(),
+            he_exchanges: Vec::new(),
+            euroix: Vec::new(),
+            rdns: Vec::new(),
+            asrank_entries: Vec::new(),
+            asrank_links: Vec::new(),
+            ripe_anchors: Vec::new(),
+            ripe_traceroutes: Vec::new(),
+            natural_earth: Vec::new(),
+            roads: Vec::new(),
+            telegeo: Vec::new(),
+            bgp_prefixes: Vec::new(),
+            anycast_prefixes: Vec::new(),
+            hoiho_rules: Vec::new(),
+            geo_codes: Vec::new(),
+        }
+    }
+
+    /// Releases the over-allocation left by push-based emission. Sets are
+    /// long-lived (a build retains its input as the delta baseline), so
+    /// growth slack — up to 2x on the big vectors — is worth returning.
+    pub fn shrink_to_fit(&mut self) {
+        self.atlas_nodes.shrink_to_fit();
+        self.atlas_links.shrink_to_fit();
+        self.pdb_facilities.shrink_to_fit();
+        self.pdb_networks.shrink_to_fit();
+        self.pdb_netfac.shrink_to_fit();
+        self.pdb_ix.shrink_to_fit();
+        self.pdb_netix.shrink_to_fit();
+        self.pch_ixps.shrink_to_fit();
+        self.he_exchanges.shrink_to_fit();
+        self.euroix.shrink_to_fit();
+        self.rdns.shrink_to_fit();
+        self.asrank_entries.shrink_to_fit();
+        self.asrank_links.shrink_to_fit();
+        self.ripe_anchors.shrink_to_fit();
+        self.ripe_traceroutes.shrink_to_fit();
+        self.natural_earth.shrink_to_fit();
+        self.roads.shrink_to_fit();
+        self.telegeo.shrink_to_fit();
+        self.bgp_prefixes.shrink_to_fit();
+        self.anycast_prefixes.shrink_to_fit();
+        self.hoiho_rules.shrink_to_fit();
+        self.geo_codes.shrink_to_fit();
+    }
+}
+
 /// Renders a city label the way sloppy human-entered datasets do.
 fn messy_label(world: &World, city: usize, style: u8) -> String {
     let c = &world.cities[city];
@@ -295,10 +357,10 @@ pub fn emit_snapshots_churned(
                 continue; // this PoP fell out of the source between dates
             }
             atlas_nodes.push(AtlasNode {
-                network: a.names.brand.clone(),
-                node_name: node_name(cid),
-                city_label: messy_label(world, cid, rng.gen()),
-                country: world.cities[cid].country.clone(),
+                network: a.names.brand.clone().into(),
+                node_name: node_name(cid).into(),
+                city_label: messy_label(world, cid, rng.gen()).into(),
+                country: world.cities[cid].country.clone().into(),
                 loc: jitter(world.cities[cid].loc, 0.05, &mut rng),
             });
         }
@@ -312,9 +374,9 @@ pub fn emit_snapshots_churned(
                     &world.cities[e.b].loc,
                 ) < 1500.0;
                 atlas_links.push(AtlasLink {
-                    network: a.names.brand.clone(),
-                    from_node: node_name(e.a),
-                    to_node: node_name(e.b),
+                    network: a.names.brand.clone().into(),
+                    from_node: node_name(e.a).into(),
+                    to_node: node_name(e.b).into(),
                     link_type: if microwave_operator && short_enough {
                         LinkType::Microwave
                     } else {
@@ -465,7 +527,7 @@ pub fn emit_snapshots_churned(
             .iter()
             .map(|(&ip, h)| RdnsRecord {
                 ip,
-                hostname: h.clone(),
+                hostname: h.clone().into(),
             })
             .collect();
         v.sort_by_key(|r| r.ip);
@@ -580,7 +642,7 @@ pub fn emit_snapshots_churned(
         .map(|cid| (world.codebook.code(cid).to_string(), cid))
         .collect();
 
-    SnapshotSet {
+    let mut set = SnapshotSet {
         as_of_date: as_of_date.to_string(),
         atlas_nodes,
         atlas_links,
@@ -604,7 +666,9 @@ pub fn emit_snapshots_churned(
         anycast_prefixes,
         hoiho_rules: world.hoiho.clone(),
         geo_codes,
-    }
+    };
+    set.shrink_to_fit();
+    set
 }
 
 /// The AS-adjacency set as route collectors observe it. For worlds up to a
@@ -776,7 +840,7 @@ mod tests {
         let (world, s) = snapshots();
         assert_eq!(s.rdns.len(), world.hostnames.len());
         for r in s.rdns.iter().take(50) {
-            assert_eq!(world.hostnames.get(&r.ip), Some(&r.hostname));
+            assert_eq!(world.hostnames.get(&r.ip).map(String::as_str), Some(r.hostname.as_str()));
         }
     }
 

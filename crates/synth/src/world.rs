@@ -97,6 +97,47 @@ impl WorldConfig {
             unresponsive_frac: 0.08,
         }
     }
+
+    /// Planet-scale CI tier: ~20K metros and >10⁵ ASes — well past paper
+    /// scale on the physical side, sized so a sharded build still fits a
+    /// CI runner. The scale-smoke job builds this at 1 and 4 workers and
+    /// diffs fingerprints.
+    pub fn large() -> Self {
+        Self {
+            seed: 42,
+            n_cities: 20_000,
+            as_counts: AsCounts {
+                tier1: 14,
+                tier2: 650,
+                stub: 110_000,
+                content: 80,
+            },
+            n_ixps: 300,
+            n_anchors: 140,
+            n_cables: 600,
+            unresponsive_frac: 0.08,
+        }
+    }
+
+    /// The largest tier: ~40K metros, ~1.6×10⁵ ASes, ~10⁶-record sources.
+    /// Exercised locally by the `scaling_curve` bench; the memory-layout
+    /// work (interning, flat tables, sharded build) exists so this fits.
+    pub fn planet() -> Self {
+        Self {
+            seed: 42,
+            n_cities: 40_000,
+            as_counts: AsCounts {
+                tier1: 16,
+                tier2: 900,
+                stub: 160_000,
+                content: 120,
+            },
+            n_ixps: 400,
+            n_anchors: 160,
+            n_cables: 700,
+            unresponsive_frac: 0.08,
+        }
+    }
 }
 
 /// An Internet exchange point.

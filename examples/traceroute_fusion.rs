@@ -25,7 +25,7 @@ fn main() {
     for h in &trace.hops {
         match h.ip {
             Some(ip) => {
-                let host = igdb.rdns.get(&ip).map(String::as_str).unwrap_or("-");
+                let host = igdb.rdns.get(&ip).map(igdb_db::Str::as_str).unwrap_or("-");
                 println!("  ttl {:>2}  {:<16} {:>7.2} ms  {}", h.ttl, ip.to_string(), h.rtt_ms, host);
             }
             None => println!("  ttl {:>2}  *", h.ttl),

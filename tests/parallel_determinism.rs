@@ -258,7 +258,7 @@ fn mesh_reports_are_identical_across_sp_modes() {
     let graph_c = PhysGraph::from_igdb(&igdb);
     graph_c.engine().prepare_ch();
     let traces: Vec<Vec<Ip4>> = igdb
-        .traces
+        .traces()
         .iter()
         .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
         .collect();
@@ -296,7 +296,7 @@ fn mesh_reports_are_identical_across_worker_counts() {
     let igdb = Igdb::build(&snaps);
     let graph = PhysGraph::from_igdb(&igdb);
     let traces: Vec<Vec<Ip4>> = igdb
-        .traces
+        .traces()
         .iter()
         .map(|t| t.hops.iter().filter_map(|h| h.ip).collect())
         .collect();
@@ -389,7 +389,7 @@ fn hidden_candidate_sets_match_naive_reference() {
 
     let mut reports = 0;
     let mut legs_checked = 0;
-    for trace in igdb.traces.iter().take(120) {
+    for trace in igdb.traces().iter().take(120) {
         let hops: Vec<Ip4> = trace.hops.iter().filter_map(|h| h.ip).collect();
         let Some(report) = physical_path_report_with(&igdb, &graph, &hops) else {
             continue;
@@ -492,7 +492,7 @@ fn naive_propagate(igdb: &Igdb, params: &BeliefPropParams) -> HashMap<Ip4, usize
     let mut assignments: HashMap<Ip4, usize> = HashMap::new();
     for _ in 0..params.max_iterations {
         let mut votes: HashMap<Ip4, HashMap<usize, usize>> = HashMap::new();
-        for tr in &igdb.traces {
+        for tr in igdb.traces() {
             let hops: Vec<(Ip4, f64, u8)> = tr
                 .hops
                 .iter()

@@ -109,7 +109,7 @@ fn observed_as_paths_are_mostly_graph_adjacent() {
     let (world, igdb) = build();
     let mut steps = 0usize;
     let mut adjacent = 0usize;
-    for tr in igdb.traces.iter().take(200) {
+    for tr in igdb.traces().iter().take(200) {
         let ips: Vec<igdb_net::Ip4> = tr.hops.iter().filter_map(|h| h.ip).collect();
         let path = igdb.bdrmap.as_path(&ips);
         for w in path.windows(2) {
