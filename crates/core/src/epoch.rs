@@ -9,14 +9,18 @@
 //! stays alive (and fully queryable) until its last reader drops it.
 
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 use crate::build::Igdb;
 
 /// One immutable published world: a fully built [`Igdb`] plus its
-/// monotonically increasing epoch number.
+/// monotonically increasing epoch number and the instant it was swapped
+/// in (the reference point for `epoch.lag` — how long after a publish an
+/// older epoch was still pinned by in-flight readers).
 pub struct Epoch {
     pub igdb: Arc<Igdb>,
     pub number: u64,
+    pub published_at: Instant,
 }
 
 /// The swap point. Readers call [`current`](Self::current); the (single)
@@ -36,7 +40,11 @@ impl EpochHandle {
     /// hand the same `Arc` to their warm-up path).
     pub fn new_shared(igdb: Arc<Igdb>) -> Self {
         Self {
-            inner: RwLock::new(Arc::new(Epoch { igdb, number: 0 })),
+            inner: RwLock::new(Arc::new(Epoch {
+                igdb,
+                number: 0,
+                published_at: Instant::now(),
+            })),
         }
     }
 
@@ -59,7 +67,11 @@ impl EpochHandle {
     pub fn publish_shared(&self, igdb: Arc<Igdb>) -> u64 {
         let mut slot = self.inner.write().unwrap_or_else(|e| e.into_inner());
         let number = slot.number + 1;
-        *slot = Arc::new(Epoch { igdb, number });
+        *slot = Arc::new(Epoch {
+            igdb,
+            number,
+            published_at: Instant::now(),
+        });
         drop(slot);
         // Deterministic: one tick per successful publish, independent of
         // readers, worker counts, and timing.

@@ -100,6 +100,14 @@ pub fn gulf_hazard() -> Polygon {
 /// Runs the fixed serving mix against a built database, emitting the
 /// serving counters, latency histograms and analysis spans into the
 /// currently installed [`igdb_obs::Registry`] (if any).
+///
+/// Span routing: this entry point is serial, so its spans land on the
+/// registry's deterministic span list. The same analyses, when invoked by
+/// `igdb-serve` pool workers, run under a per-request
+/// [`igdb_obs::TraceContext`] instead — their free spans then build the
+/// request's own tree and never touch the registry, which is what keeps
+/// the gated counter stream identical between `igdb queries` and a
+/// loaded server.
 pub fn run_query_mix(world: &World, igdb: &Igdb) -> QueryMixSummary {
     let _span = igdb_obs::span("serving.query_mix");
 

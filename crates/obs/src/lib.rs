@@ -22,6 +22,14 @@
 //!   timing on a monotonic clock. Guards nest via a thread-local stack;
 //!   [`Registry::check_span_nesting`] asserts the tree is well-formed
 //!   (children contained in parents, opens monotone, everything closed).
+//! * **Traces** ([`TraceContext`]) — request-scoped span trees for
+//!   concurrent handlers. A reader creates a trace (id = connection id +
+//!   correlation id) and hands it to the pool worker; while the worker has
+//!   it [installed](TraceContext::install), the free [`span`] routes into
+//!   the trace instead of the registry, so every request gets a complete
+//!   reader → queue → worker → analysis → encode tree with deterministic
+//!   *structure* and perf-classed timings, checked per thread and per
+//!   request by [`TraceRecord::check_nesting`].
 //! * **Sinks** — [`Registry::render_table`] (human) and
 //!   [`Registry::json_lines`] (machine, one JSON object per line), with
 //!   [`Registry::from_json_lines`] parsing the latter back so `igdb
@@ -47,14 +55,20 @@
 //!
 //! 1. A **counter** may only be incremented by amounts derived from the
 //!    input data, never from scheduling (chunk sizes, worker ids, timing).
-//! 2. **Spans** may only be opened from serial pipeline code, never from
-//!    inside a parallel worker, so the span list order is deterministic.
+//! 2. **Registry spans** may only be opened from serial pipeline code, so
+//!    the registry's span list order is deterministic. Concurrent request
+//!    handlers do not gag their spans — they install a [`TraceContext`]
+//!    instead: each request gets its own span tree with its own per-thread
+//!    open stack, and the registry's serial list is never touched from a
+//!    pool worker.
 //! 3. Timing lives in span durations and histograms only; the
 //!    [`JsonMode::Deterministic`] sink redacts it, which is what makes
-//!    golden-file tests of the metrics stream possible.
+//!    golden-file tests of the metrics stream possible. Trace *structure*
+//!    (names, nesting, per-trace counters) is deterministic; trace
+//!    timings are perf-class.
 
 use std::borrow::Cow;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
@@ -82,7 +96,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Self {
+    /// An empty histogram. Public so sinks outside the registry (the
+    /// serve flight recorder's per-client queue-wait accounting) can
+    /// aggregate with the same bucketing and quantile semantics.
+    pub fn new() -> Self {
         Self {
             count: 0,
             sum: 0,
@@ -92,7 +109,8 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, v: u64) {
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
         self.count += 1;
         // Saturate rather than wrap: a pegged sum keeps mean() an honest
         // lower bound instead of a small garbage number.
@@ -247,42 +265,358 @@ thread_local! {
     static CURRENT: RefCell<Vec<Registry>> = const { RefCell::new(Vec::new()) };
     /// Open spans on this thread: `(registry id, span index)`.
     static SPAN_STACK: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
-    /// Nesting depth of [`suppress_spans`] guards on this thread.
-    static SPAN_GAG: Cell<usize> = const { Cell::new(0) };
+    /// Installed request traces on this thread, innermost last. Each
+    /// frame carries its *own* open-span stack, so nesting is tracked per
+    /// thread and per trace — pool workers never share a span stack.
+    static TRACE_STACK: RefCell<Vec<TraceFrame>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Guard returned by [`suppress_spans`]; re-enables the free [`span`]
-/// function on this thread when dropped (guards nest).
-pub struct SpanGag {
-    _priv: (),
+struct TraceFrame {
+    trace: TraceContext,
+    /// Open span indices into the trace's span list, innermost last.
+    open: Vec<usize>,
 }
 
-impl Drop for SpanGag {
-    fn drop(&mut self) {
-        SPAN_GAG.with(|g| g.set(g.get() - 1));
+/// Identity of one request trace: the connection it arrived on plus the
+/// client-chosen correlation id (the frame id).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceId {
+    pub conn: u64,
+    pub corr: u64,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    id: TraceId,
+    epoch: Instant,
+    /// Sink traces discard spans instead of recording them: a scope that
+    /// runs instrumented code concurrently but has no request to attribute
+    /// it to (e.g. a background churn thread) installs one so free spans
+    /// stay off the registry's serial list without a suppression switch.
+    sink: bool,
+    spans: Mutex<Vec<SpanRecord>>,
+    counters: Mutex<BTreeMap<(Name, Name), u64>>,
+}
+
+/// A request-scoped span tree, safe to hand across threads (reader →
+/// queue → pool worker). Clones share the same storage.
+///
+/// Registry spans stay serial (determinism rule 2); a `TraceContext` is
+/// how concurrent handlers get spans anyway: while a trace is
+/// [installed](Self::install) on a thread, the free [`span`] function
+/// routes into the trace's own tree with its own open stack. Span 0 is
+/// the root, opened at creation and closed by [`finish`](Self::finish),
+/// so the root duration is the request's wall time.
+#[derive(Clone, Debug)]
+pub struct TraceContext {
+    inner: Arc<TraceInner>,
+}
+
+impl TraceContext {
+    /// Starts a trace for request `corr` on connection `conn`; the root
+    /// span `root` opens immediately at offset 0.
+    pub fn new(conn: u64, corr: u64, root: impl Into<Name>) -> Self {
+        Self {
+            inner: Arc::new(TraceInner {
+                id: TraceId { conn, corr },
+                epoch: Instant::now(),
+                sink: false,
+                spans: Mutex::new(vec![SpanRecord {
+                    name: root.into(),
+                    parent: None,
+                    depth: 0,
+                    start_us: 0,
+                    dur_us: None,
+                }]),
+                counters: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// A trace that records nothing: spans opened under it are inert.
+    /// Install one around concurrent instrumented work that belongs to no
+    /// request (background epoch churn); counters, perf counters and
+    /// histograms keep flowing to the installed registry.
+    pub fn sink() -> Self {
+        Self {
+            inner: Arc::new(TraceInner {
+                id: TraceId { conn: 0, corr: 0 },
+                epoch: Instant::now(),
+                sink: true,
+                spans: Mutex::new(Vec::new()),
+                counters: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    pub fn id(&self) -> TraceId {
+        self.inner.id
+    }
+
+    pub fn is_sink(&self) -> bool {
+        self.inner.sink
+    }
+
+    /// Identity for thread-local bookkeeping (clones share it).
+    fn ptr_id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// The instant the trace started (root span offset 0).
+    pub fn started(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Microseconds from trace start to `t` (0 if `t` precedes it).
+    pub fn offset_us(&self, t: Instant) -> u64 {
+        t.checked_duration_since(self.inner.epoch)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Microseconds elapsed since the trace started.
+    pub fn elapsed_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Makes this trace the routing target for the free [`span`] function
+    /// on the calling thread until the guard drops. Installs stack; the
+    /// innermost wins.
+    #[must_use = "the trace only receives spans until the guard drops"]
+    pub fn install(&self) -> TraceInstalled {
+        TRACE_STACK.with(|s| {
+            s.borrow_mut().push(TraceFrame {
+                trace: self.clone(),
+                open: Vec::new(),
+            })
+        });
+        TraceInstalled { _priv: () }
+    }
+
+    /// Opens a span in this trace. The parent is the innermost span this
+    /// thread has open in this trace, or the root. Safe from any thread.
+    pub fn span(&self, name: impl Into<Name>) -> Span {
+        if self.inner.sink {
+            return Span { reg: None, trace: None };
+        }
+        let name = name.into();
+        let mut spans = self.inner.spans.lock().unwrap();
+        let start_us = self.inner.epoch.elapsed().as_micros() as u64;
+        let parent = self.open_parent().or(Some(0));
+        let depth = parent.map(|p| spans[p].depth + 1).unwrap_or(0);
+        let idx = spans.len();
+        spans.push(SpanRecord {
+            name,
+            parent,
+            depth,
+            start_us,
+            dur_us: None,
+        });
+        drop(spans);
+        TRACE_STACK.with(|s| {
+            if let Some(f) = s
+                .borrow_mut()
+                .iter_mut()
+                .rev()
+                .find(|f| f.trace.ptr_id() == self.ptr_id())
+            {
+                f.open.push(idx);
+            }
+        });
+        Span {
+            reg: None,
+            trace: Some((self.clone(), idx)),
+        }
+    }
+
+    /// Records an already-measured interval as a closed span (child of the
+    /// innermost open span on this thread, or the root). This is how a
+    /// worker backfills an interval that *started* on another thread —
+    /// e.g. queue wait, measured from the reader's enqueue instant.
+    pub fn record(&self, name: impl Into<Name>, start_us: u64, dur_us: u64) {
+        if self.inner.sink {
+            return;
+        }
+        let mut spans = self.inner.spans.lock().unwrap();
+        let parent = self.open_parent().or(Some(0));
+        let depth = parent.map(|p| spans[p].depth + 1).unwrap_or(0);
+        spans.push(SpanRecord {
+            name: name.into(),
+            parent,
+            depth,
+            start_us,
+            dur_us: Some(dur_us),
+        });
+    }
+
+    /// Innermost span index this thread has open in this trace.
+    fn open_parent(&self) -> Option<usize> {
+        TRACE_STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|f| f.trace.ptr_id() == self.ptr_id())
+                .and_then(|f| f.open.last().copied())
+        })
+    }
+
+    /// Adds to a deterministic per-request counter (data-derived tallies:
+    /// bytes in/out, rows touched — never timing).
+    pub fn counter(&self, name: impl Into<Name>, label: impl Into<Name>, delta: u64) {
+        if self.inner.sink {
+            return;
+        }
+        *self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .entry((name.into(), label.into()))
+            .or_insert(0) += delta;
+    }
+
+    /// Current value of a per-request counter (0 if never incremented).
+    pub fn counter_value(&self, name: &str, label: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .unwrap()
+            .get(&(Name::Owned(name.to_string()), Name::Owned(label.to_string())))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Closes the root span at the current instant (idempotent — the
+    /// first call wins) and snapshots the trace. Spans other than the
+    /// root that are still open stay open in the snapshot, which
+    /// [`TraceRecord::check_nesting`] reports as an error.
+    pub fn finish(&self) -> TraceRecord {
+        let end = self.inner.epoch.elapsed().as_micros() as u64;
+        let mut spans = self.inner.spans.lock().unwrap();
+        if let Some(root) = spans.first_mut() {
+            if root.dur_us.is_none() {
+                root.dur_us = Some(end);
+            }
+        }
+        let snapshot = spans.clone();
+        drop(spans);
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|((n, l), v)| (n.clone(), l.clone(), *v))
+            .collect();
+        TraceRecord {
+            id: self.inner.id,
+            spans: snapshot,
+            counters,
+        }
     }
 }
 
-/// Makes the free [`span`] function inert on this thread until the guard
-/// drops; counters, perf counters and histograms keep flowing.
-///
-/// Spans are serial-only (determinism rule 2): they assume one thread
-/// walks the pipeline, so a span opened from a pool worker would record
-/// scheduling order into the deterministic stream. Instrumented analysis
-/// code can't know who calls it — so a caller that *is* a pool worker
-/// (the query server's request executors) installs this gag alongside the
-/// registry, keeping the analyses' counters and latency histograms while
-/// dropping their spans. Explicit [`Registry::span`] calls are not
-/// affected — code that names a registry is expected to know its context.
-#[must_use = "spans are only suppressed until the guard drops"]
-pub fn suppress_spans() -> SpanGag {
-    SPAN_GAG.with(|g| g.set(g.get() + 1));
-    SpanGag { _priv: () }
+/// Guard returned by [`TraceContext::install`]; pops the thread's trace
+/// stack on drop (including unwind).
+pub struct TraceInstalled {
+    _priv: (),
 }
 
-/// Whether a [`suppress_spans`] guard is active on this thread.
-pub fn spans_suppressed() -> bool {
-    SPAN_GAG.with(|g| g.get() > 0)
+impl Drop for TraceInstalled {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// The innermost trace installed on this thread, if any.
+pub fn current_trace() -> Option<TraceContext> {
+    TRACE_STACK.with(|s| s.borrow().last().map(|f| f.trace.clone()))
+}
+
+/// Finished snapshot of one request trace: the span tree (span 0 is the
+/// root whose duration is the request's wall time) plus the per-request
+/// deterministic counters, sorted by key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    pub id: TraceId,
+    pub spans: Vec<SpanRecord>,
+    pub counters: Vec<(Name, Name, u64)>,
+}
+
+impl TraceRecord {
+    /// The root span (`None` only for an empty/sink record).
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.first()
+    }
+
+    /// Request wall time: the root span's duration.
+    pub fn wall_us(&self) -> u64 {
+        self.root().and_then(|r| r.dur_us).unwrap_or(0)
+    }
+
+    /// The deterministic structural shape of the tree: `(depth, name)` in
+    /// record order. Two runs of the same request must produce identical
+    /// shapes regardless of worker count or shortest-path mode.
+    pub fn shape(&self) -> Vec<(usize, String)> {
+        self.spans.iter().map(|s| (s.depth, s.name.to_string())).collect()
+    }
+
+    /// Per-trace structural checker: every span closed, parents point
+    /// backwards with consistent depth, every child's interval contained
+    /// in its parent's. Unlike [`Registry::check_span_nesting`] this does
+    /// *not* require globally monotone opens — a trace legally carries
+    /// explicitly [recorded](TraceContext::record) cross-thread intervals
+    /// (queue wait) that backfill earlier time.
+    pub fn check_nesting(&self) -> Result<(), String> {
+        for (i, s) in self.spans.iter().enumerate() {
+            let dur = s
+                .dur_us
+                .ok_or_else(|| format!("trace span {i} ({}) never closed", s.name))?;
+            match s.parent {
+                None => {
+                    if s.depth != 0 {
+                        return Err(format!(
+                            "trace root {i} ({}) has depth {}",
+                            s.name, s.depth
+                        ));
+                    }
+                }
+                Some(p) => {
+                    if p >= i {
+                        return Err(format!(
+                            "trace span {i} ({}) has forward parent {p}",
+                            s.name
+                        ));
+                    }
+                    let ps = &self.spans[p];
+                    if s.depth != ps.depth + 1 {
+                        return Err(format!(
+                            "trace span {i} ({}) depth {} under parent depth {}",
+                            s.name, s.depth, ps.depth
+                        ));
+                    }
+                    let pdur = ps
+                        .dur_us
+                        .ok_or_else(|| format!("trace parent {p} ({}) never closed", ps.name))?;
+                    if s.start_us < ps.start_us || s.start_us + dur > ps.start_us + pdur {
+                        return Err(format!(
+                            "trace span {i} ({}) [{}..{}] escapes parent {} ({}) [{}..{}]",
+                            s.name,
+                            s.start_us,
+                            s.start_us + dur,
+                            p,
+                            ps.name,
+                            ps.start_us,
+                            ps.start_us + pdur
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Guard returned by [`Registry::install`]; pops the current-registry
@@ -429,6 +763,7 @@ impl Registry {
         SPAN_STACK.with(|s| s.borrow_mut().push((self.id(), idx)));
         Span {
             reg: Some((self.clone(), idx)),
+            trace: None,
         }
     }
 
@@ -1158,15 +1493,42 @@ pub enum JsonMode {
 // Span guard
 // ---------------------------------------------------------------------------
 
-/// RAII span guard: records the duration and pops the thread-local span
-/// stack on drop. A guard from the free [`span`] function with no current
-/// registry is inert.
+/// RAII span guard: records the duration and pops the owning thread-local
+/// open stack on drop. A guard from the free [`span`] function with no
+/// current trace or registry is inert.
 pub struct Span {
     reg: Option<(Registry, usize)>,
+    trace: Option<(TraceContext, usize)>,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if let Some((trace, idx)) = self.trace.take() {
+            let end = trace.inner.epoch.elapsed().as_micros() as u64;
+            {
+                let mut spans = trace.inner.spans.lock().unwrap();
+                let rec = &mut spans[idx];
+                rec.dur_us = Some(end.saturating_sub(rec.start_us));
+            }
+            TRACE_STACK.with(|s| {
+                let mut st = s.borrow_mut();
+                if let Some(f) = st
+                    .iter_mut()
+                    .rev()
+                    .find(|f| f.trace.ptr_id() == trace.ptr_id())
+                {
+                    if f.open.last() == Some(&idx) {
+                        f.open.pop();
+                    } else {
+                        // Out-of-order drop (e.g. guards dropped by
+                        // unwind in declaration order): remove wherever
+                        // it sits.
+                        f.open.retain(|&e| e != idx);
+                    }
+                }
+            });
+            return;
+        }
         let Some((reg, idx)) = self.reg.take() else {
             return;
         };
@@ -1199,6 +1561,13 @@ impl Drop for Span {
 /// Adds to a deterministic counter on the current registry (no-op without
 /// one).
 pub fn counter(name: impl Into<Name>, label: impl Into<Name>, delta: u64) {
+    let (name, label) = (name.into(), label.into());
+    // Tee into the installed trace (if any): a request's deterministic
+    // counters become part of its TraceRecord, while the registry keeps
+    // the global stream. Sink traces drop their copy.
+    if let Some(t) = current_trace() {
+        t.counter(name.clone(), label.clone(), delta);
+    }
     if let Some(r) = current() {
         r.counter_add(name, label, delta);
     }
@@ -1218,15 +1587,17 @@ pub fn observe(name: impl Into<Name>, label: impl Into<Name>, value: u64) {
     }
 }
 
-/// Opens a span on the current registry (inert guard without one, or
-/// while a [`suppress_spans`] guard is active on this thread).
+/// Opens a span. Routing order: the innermost [`TraceContext`] installed
+/// on this thread wins (request-scoped tree, safe in pool workers); with
+/// no trace, the current registry's serial span list (determinism rule
+/// 2); with neither, the guard is inert.
 pub fn span(name: impl Into<Name>) -> Span {
-    if spans_suppressed() {
-        return Span { reg: None };
+    if let Some(t) = current_trace() {
+        return t.span(name);
     }
     match current() {
         Some(r) => r.span(name),
-        None => Span { reg: None },
+        None => Span { reg: None, trace: None },
     }
 }
 
@@ -1908,30 +2279,25 @@ mod tests {
     }
 
     #[test]
-    fn suppress_spans_gags_free_spans_but_not_metrics() {
+    fn free_spans_route_to_installed_trace_not_registry() {
         let reg = Registry::new();
         let _g = reg.install();
+        let trace = TraceContext::new(3, 17, "request");
         {
-            let _gag = suppress_spans();
-            assert!(spans_suppressed());
+            let _t = trace.install();
             {
-                // Nested guards stack.
-                let _gag2 = suppress_spans();
-                drop(span("worker.should_not_record"));
+                let _outer = span("execute");
+                drop(span("analysis.risk"));
             }
-            assert!(spans_suppressed());
-            drop(span("worker.still_gagged"));
-            // Counters, perf and histograms keep flowing under the gag —
-            // that's the whole point: pool workers keep their deterministic
-            // tallies while dropping scheduling-ordered spans.
+            // Counters, perf and histograms keep flowing to the registry
+            // — only span routing changes while a trace is installed.
             counter("serve.ok", "ping", 1);
             perf("serve.shed", "", 1);
             observe("serve.queue_depth", "", 3);
-            // An explicit Registry::span is not gagged (the caller named
-            // the registry, so it owns the serial-context decision).
+            // An explicit Registry::span still goes to the registry (the
+            // caller named it, so it owns the serial-context decision).
             drop(reg.span("explicit"));
         }
-        assert!(!spans_suppressed());
         drop(span("after"));
         let names: Vec<String> = reg.spans().iter().map(|s| s.name.to_string()).collect();
         assert_eq!(names, ["explicit", "after"]);
@@ -1939,6 +2305,110 @@ mod tests {
         assert_eq!(reg.perf_value("serve.shed", ""), 1);
         assert_eq!(reg.histogram("serve.queue_depth", "").unwrap().count, 1);
         reg.check_span_nesting().unwrap();
+
+        let rec = trace.finish();
+        assert_eq!(rec.id, TraceId { conn: 3, corr: 17 });
+        assert_eq!(
+            rec.shape(),
+            vec![
+                (0, "request".to_string()),
+                (1, "execute".to_string()),
+                (2, "analysis.risk".to_string()),
+            ]
+        );
+        rec.check_nesting().unwrap();
+    }
+
+    #[test]
+    fn pool_thread_spans_nest_per_thread_and_never_panic() {
+        // Regression for the old serial-only checker: concurrent pool
+        // workers opening nested free spans used to corrupt the shared
+        // LIFO/containment invariant (hence the suppress_spans gag). With
+        // per-thread, per-request trace stacks the registry span list
+        // stays untouched and every trace tree is well-formed.
+        let reg = Registry::new();
+        drop(reg.span("serve.prepare"));
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let _g = reg.install();
+                let mut recs = Vec::new();
+                for r in 0..8u64 {
+                    let trace = TraceContext::new(w, r, "request");
+                    {
+                        let _t = trace.install();
+                        trace.record("queue.wait", 0, 1);
+                        let _e = span("execute");
+                        drop(span("analysis.footprint"));
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                    recs.push(trace.finish());
+                }
+                recs
+            }));
+        }
+        for h in handles {
+            for rec in h.join().expect("pool thread panicked") {
+                rec.check_nesting().unwrap();
+                assert_eq!(
+                    rec.shape(),
+                    vec![
+                        (0, "request".to_string()),
+                        (1, "queue.wait".to_string()),
+                        (1, "execute".to_string()),
+                        (2, "analysis.footprint".to_string()),
+                    ]
+                );
+            }
+        }
+        // The registry's serial span list never saw the pool threads.
+        let names: Vec<String> = reg.spans().iter().map(|s| s.name.to_string()).collect();
+        assert_eq!(names, ["serve.prepare"]);
+        reg.check_span_nesting().unwrap();
+    }
+
+    #[test]
+    fn trace_records_cross_thread_intervals_and_counters() {
+        let trace = TraceContext::new(1, 2, "request");
+        let enqueued = trace.started();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // A worker backfills queue wait measured from the reader's enqueue
+        // instant — earlier than anything the worker itself opened.
+        let t2 = trace.clone();
+        std::thread::spawn(move || {
+            let _t = t2.install();
+            let wait = t2.offset_us(std::time::Instant::now());
+            t2.record("queue.wait", t2.offset_us(enqueued), wait);
+            drop(t2.span("encode"));
+            t2.counter("bytes", "out", 21);
+        })
+        .join()
+        .unwrap();
+        let rec = trace.finish();
+        rec.check_nesting().unwrap();
+        assert_eq!(trace.counter_value("bytes", "out"), 21);
+        assert_eq!(rec.counters, vec![(Name::from("bytes"), Name::from("out"), 21)]);
+        let shapes = rec.shape();
+        assert_eq!(shapes[1], (1, "queue.wait".to_string()));
+        assert!(rec.wall_us() >= 2000, "root must cover the queue wait");
+    }
+
+    #[test]
+    fn sink_trace_discards_spans_but_metrics_flow() {
+        let reg = Registry::new();
+        let _g = reg.install();
+        let sink = TraceContext::sink();
+        {
+            let _t = sink.install();
+            drop(span("delta.apply"));
+            counter("epoch.published", "", 1);
+        }
+        assert!(sink.is_sink());
+        let rec = sink.finish();
+        assert!(rec.spans.is_empty(), "sink trace must record nothing");
+        assert!(reg.spans().is_empty(), "sink trace must shield the registry");
+        assert_eq!(reg.counter_value("epoch.published", ""), 1);
     }
 
     #[test]

@@ -22,9 +22,10 @@ use std::time::Duration;
 use igdb_core::{BuildError, BuildPolicy, Igdb};
 use igdb_db::{Database, Predicate, Query, Value};
 use igdb_geo::{GeoPoint, NearestSiteIndex};
+use igdb_fault::ServeError;
 use igdb_serve::{
-    loadgen_session, run_loadgen, Client, Listener, LoadgenConfig, Request, Response, Server,
-    ServerAddr, ServerConfig,
+    loadgen_session, run_loadgen, Client, Introspection, Listener, LoadgenConfig, Request,
+    Response, Server, ServerAddr, ServerConfig,
 };
 use igdb_synth::faults::FaultClass;
 use igdb_synth::{emit_snapshots, generate_delta, inject_faults, DeltaClass, World, WorldConfig};
@@ -118,6 +119,7 @@ fn main() -> ExitCode {
         "delta" => cmd_delta(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
+        "top" => cmd_top(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -175,13 +177,24 @@ commands:
           [--date YYYY-MM-DD] [--mesh N] [--workers N] [--queue N]
           [--deadline-ms N] [--metrics FILE.jsonl]
           [--churn-ms N [--churn-seed N]]
+          [--slow-ms N] [--slow-log FILE.jsonl] [--trace-ring N]
           build a database and serve it over the binary protocol with
           per-request deadlines, bounded-queue backpressure, and panic
           containment; runs until stdin closes, then drains gracefully
           (finishes in-flight work, rejects new requests typed) and
           flushes metrics. --churn-ms applies a seeded source delta
           every N ms and publishes it as a new epoch while serving —
-          in-flight requests finish on the epoch they started on
+          in-flight requests finish on the epoch they started on.
+          --slow-ms sends every request at/over the threshold to the
+          flight recorder's slow-query log; --slow-log appends those
+          span trees as JSON-lines readable by `igdb metrics --in`;
+          --trace-ring sizes the in-memory ring of completed traces
+  top     --addr HOST:PORT|unix:PATH [--interval SECS] [--once] [--counters]
+          poll a live server's versioned Introspect op and render the
+          flight recorder: ledger totals, per-client rows (requests,
+          ok/err by kind, bytes, queue-wait quantiles), pinned-epoch
+          distribution and epoch.lag; --once prints one snapshot and
+          exits, --counters appends the deterministic counter stream
   loadgen [--addr HOST:PORT|unix:PATH] [--requests N] [--conns N]
           [--seed N] [--qps Q] [--deadline-ms N] [--scale tiny|medium|large|planet]
           [--mesh N] [--workers N] [--queue N] [--out FILE.jsonl]
@@ -586,6 +599,13 @@ fn server_config(args: &[String], enable_test_ops: bool) -> Result<ServerConfig,
         let ms: u64 = d.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
         cfg.default_deadline = Duration::from_millis(ms.max(1));
     }
+    if let Some(s) = flag(args, "--slow-ms") {
+        cfg.slow_ms = s.parse().map_err(|e| format!("bad --slow-ms: {e}"))?;
+    }
+    cfg.slow_log = flag(args, "--slow-log").map(PathBuf::from);
+    if let Some(r) = flag(args, "--trace-ring") {
+        cfg.trace_ring = r.parse().map_err(|e| format!("bad --trace-ring: {e}"))?;
+    }
     Ok(cfg)
 }
 
@@ -640,9 +660,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 use std::sync::atomic::Ordering;
                 let _g = reg.install();
                 // The apply's spans are serial-only shapes; this writer
-                // runs beside the serving threads, so gag spans and let
-                // the deterministic counters flow.
-                let _gag = igdb_obs::suppress_spans();
+                // runs beside the serving threads, so route its spans
+                // into a sink trace (discarded) and let the
+                // deterministic counters flow to the registry.
+                let sink = igdb_obs::TraceContext::sink();
+                let _t = sink.install();
                 let classes = [
                     DeltaClass::AtlasChurn,
                     DeltaClass::TracerouteChurn,
@@ -814,6 +836,139 @@ fn parse_addr(raw: &str) -> Result<ServerAddr, CliError> {
         .next()
         .map(ServerAddr::Tcp)
         .ok_or_else(|| "bad --addr: resolved to nothing".into())
+}
+
+/// `igdb top` — poll a live server's versioned `Introspect` op and render
+/// the flight recorder: ledger, per-client table, epoch-pin distribution.
+/// Read-only: the op is answered inline by the reader and records only a
+/// perf-class control tally, so watching never perturbs the deterministic
+/// counter stream.
+fn cmd_top(args: &[String]) -> Result<(), CliError> {
+    let addr = flag(args, "--addr")
+        .ok_or("top wants --addr HOST:PORT or --addr unix:PATH")?;
+    let addr = parse_addr(&addr)?;
+    let once = args.iter().any(|a| a == "--once");
+    let show_counters = args.iter().any(|a| a == "--counters");
+    let interval: f64 = flag(args, "--interval")
+        .map(|v| v.parse().map_err(|e| format!("bad --interval: {e}")))
+        .transpose()?
+        .unwrap_or(2.0);
+    if !(interval > 0.0) {
+        return Err("--interval wants seconds > 0".into());
+    }
+    let mut client = io_ctx(
+        Client::connect(&addr, Duration::from_secs(5)),
+        "connect to server",
+        Path::new("<addr>"),
+    )?;
+    loop {
+        let intro = match client.call(&Request::Introspect, 0) {
+            Ok(Response::Introspect(i)) => i,
+            other => return Err(format!("introspect failed: {other:?}").into()),
+        };
+        println!("{}", render_top(&intro, show_counters));
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval));
+    }
+}
+
+/// Renders one introspection snapshot as the `igdb top` text view.
+fn render_top(i: &Introspection, show_counters: bool) -> String {
+    use std::fmt::Write as _;
+    let r = &i.recorder;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "igdb top — epoch {}  uptime {:.1}s  workers {}/{} busy  queue {}/{}{}",
+        i.epoch,
+        i.uptime_us as f64 / 1e6,
+        i.busy_workers,
+        i.workers,
+        i.queue_depth,
+        i.queue_capacity,
+        if i.draining { "  DRAINING" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "requests {}  ok {}  err {}  live {}  bytes in/out {}/{}",
+        r.requests,
+        r.ok,
+        r.err_total(),
+        r.live,
+        r.bytes_in,
+        r.bytes_out
+    );
+    let named = |row: &[u64; 5]| -> String {
+        let mut s = String::new();
+        for (n, &v) in ServeError::NAMES.iter().zip(row.iter()) {
+            if v > 0 {
+                let _ = write!(s, " {n}={v}");
+            }
+        }
+        if s.is_empty() {
+            s.push_str(" none");
+        }
+        s
+    };
+    let _ = writeln!(out, "errors:{}  rejects:{}", named(&r.err), named(&r.rejected));
+    let _ = write!(
+        out,
+        "ring {}/{}  slow {}",
+        r.ring_len, r.ring_cap, r.slow_count
+    );
+    if r.slow_ms > 0 {
+        let _ = write!(out, " (>= {} ms)", r.slow_ms);
+    }
+    let _ = writeln!(out);
+    if !r.epoch_pins.is_empty() || r.pins_evicted > 0 {
+        let _ = write!(out, "epoch pins:");
+        for &(e, n) in &r.epoch_pins {
+            let _ = write!(out, " {e}:{n}");
+        }
+        if r.pins_evicted > 0 {
+            let _ = write!(out, " (+{} on evicted epochs)", r.pins_evicted);
+        }
+        if r.epoch_lag.count > 0 {
+            let _ = write!(
+                out,
+                "  lag p50/p99/max {}/{}/{} us ({} samples)",
+                r.epoch_lag.p50_us, r.epoch_lag.p99_us, r.epoch_lag.max_us, r.epoch_lag.count
+            );
+        }
+        let _ = writeln!(out);
+    }
+    if !r.clients.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>6} {:>6} {:>10} {:>10}  {}",
+            "conn", "requests", "ok", "err", "rej", "bytes-in", "bytes-out", "wait p50/p99/max us"
+        );
+        for c in &r.clients {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>8} {:>6} {:>6} {:>10} {:>10}  {}/{}/{}",
+                c.conn,
+                c.requests,
+                c.ok,
+                c.err.iter().sum::<u64>(),
+                c.rejected.iter().sum::<u64>(),
+                c.bytes_in,
+                c.bytes_out,
+                c.queue_wait.p50_us,
+                c.queue_wait.p99_us,
+                c.queue_wait.max_us
+            );
+        }
+    }
+    if show_counters && !i.counters.is_empty() {
+        let _ = writeln!(out, "deterministic counters:");
+        for line in i.counters.lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    out
 }
 
 fn open_db(args: &[String]) -> Result<Database, String> {

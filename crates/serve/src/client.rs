@@ -157,6 +157,10 @@ pub struct LoadgenSummary {
     pub ok: u64,
     /// Typed error responses, by [`ServeError::name`].
     pub errors: Vec<(&'static str, u64)>,
+    /// Typed error responses broken out by request kind: `(kind, error
+    /// name, count)`, nonzero rows only. A saturation run that sheds
+    /// batches but serves pings is visible here, not just as one number.
+    pub errors_by_kind: Vec<(&'static str, &'static str, u64)>,
     /// Transport-level losses (closed connections, decode failures) —
     /// zero on every clean and overload run; non-zero means the server
     /// dropped a response, which the chaos harness treats as a failure.
@@ -180,7 +184,17 @@ impl LoadgenSummary {
         self.errors.iter().map(|&(_, c)| c).sum()
     }
 
-    /// One-line human rendering.
+    /// Typed errors of one kind × error name.
+    pub fn error_count_for(&self, kind: &str, name: &str) -> u64 {
+        self.errors_by_kind
+            .iter()
+            .find(|(k, n, _)| *k == kind && *n == name)
+            .map(|&(_, _, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// One-line human rendering, plus a per-kind error breakdown when
+    /// any request failed (attributing a storm to the kinds it hit).
     pub fn render(&self) -> String {
         let mut errs = String::new();
         for (n, c) in &self.errors {
@@ -188,10 +202,17 @@ impl LoadgenSummary {
                 errs.push_str(&format!(" {n}={c}"));
             }
         }
-        format!(
+        let mut out = format!(
             "sent {} ok {} lost {}{} | {:.1} req/s | p50 {:.0} µs p99 {:.0} µs",
             self.sent, self.ok, self.lost, errs, self.throughput, self.p50_us, self.p99_us
-        )
+        );
+        if !self.errors_by_kind.is_empty() {
+            out.push_str("\nerrors by kind:");
+            for (kind, name, c) in &self.errors_by_kind {
+                out.push_str(&format!(" {kind}:{name}={c}"));
+            }
+        }
+        out
     }
 }
 
@@ -262,6 +283,15 @@ pub fn run_loadgen(addr: &ServerAddr, n_metros: usize, cfg: &LoadgenConfig, reg:
         .iter()
         .map(|&n| (n, reg.perf_value("loadgen.err", n)))
         .collect();
+    let mut errors_by_kind = Vec::new();
+    for &kind in &KIND_LABELS {
+        for &name in &ServeError::NAMES {
+            let c = reg.perf_value("loadgen.err_kind", &format!("{kind}:{name}"));
+            if c > 0 {
+                errors_by_kind.push((kind, name, c));
+            }
+        }
+    }
     let (p50_us, p99_us) = match reg.histogram("loadgen.rtt_us", "all") {
         Some(h) => (h.quantile(0.5), h.quantile(0.99)),
         None => (0.0, 0.0),
@@ -270,6 +300,7 @@ pub fn run_loadgen(addr: &ServerAddr, n_metros: usize, cfg: &LoadgenConfig, reg:
         sent,
         ok,
         errors,
+        errors_by_kind,
         lost,
         wall,
         throughput: ok as f64 / wall.as_secs_f64().max(1e-9),
@@ -308,7 +339,10 @@ fn conn_loop(
 
 fn record_response(kind: &'static str, rtt_us: u64, resp: &Response) {
     match resp {
-        Response::Error(e) => igdb_obs::perf("loadgen.err", e.name(), 1),
+        Response::Error(e) => {
+            igdb_obs::perf("loadgen.err", e.name(), 1);
+            igdb_obs::perf("loadgen.err_kind", format!("{kind}:{}", e.name()), 1);
+        }
         _ => {
             igdb_obs::counter("loadgen.ok", kind, 1);
             igdb_obs::observe("loadgen.rtt_us", kind, rtt_us);

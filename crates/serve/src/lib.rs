@@ -19,6 +19,11 @@
 //! - **Chaos harness** ([`chaos`]): seeded fault injection with a ledger
 //!   asserting every fault maps to exactly one typed error and zero
 //!   responses are lost.
+//! - **Flight recorder** ([`recorder`]): a ring of completed request
+//!   traces (request-scoped [`igdb_obs::TraceContext`] span trees), a
+//!   slow-query log, per-client accounting and epoch-churn visibility,
+//!   exposed live over the wire via the versioned `Introspect` op and
+//!   `igdb top`.
 //!
 //! The [`client`] module holds the matching client plus the seeded
 //! loadgen used by `igdb loadgen` and the sustained-load experiments.
@@ -27,12 +32,16 @@ pub mod chaos;
 pub mod client;
 pub mod deadline;
 pub mod proto;
+pub mod recorder;
 pub mod server;
 
 pub use chaos::{run_chaos, ChaosEnv, ChaosLedger, FaultClass, Observed};
 pub use client::{run_loadgen, Client, ClientError, LoadgenConfig, LoadgenSummary};
 pub use deadline::Deadline;
-pub use proto::{ProtoError, Request, Response};
+pub use proto::{Introspection, ProtoError, Request, Response, INTROSPECT_VERSION};
+pub use recorder::{
+    ClientRow, FlightRecorder, HistDigest, RecorderConfig, RecorderSnapshot, RequestTrace,
+};
 pub use server::{
     DrainReport, Listener, Server, ServerAddr, ServerConfig, Stream, KINDS,
 };

@@ -28,6 +28,8 @@ use std::io::{Read, Write};
 
 use igdb_fault::ServeError;
 
+use crate::recorder::{ClientRow, HistDigest, RecorderSnapshot};
+
 /// `"iGDB"` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"iGDB");
 
@@ -69,6 +71,10 @@ pub enum Request {
     Panic,
     /// Control op: server stats, answered inline by the reader.
     Stats,
+    /// Control op: full live introspection (flight-recorder snapshot,
+    /// per-client table, registry counters), answered inline by the
+    /// reader with a *versioned* payload — see [`Introspection`].
+    Introspect,
 }
 
 impl Request {
@@ -83,6 +89,7 @@ impl Request {
             Request::Sleep { .. } => 0x06,
             Request::Panic => 0x07,
             Request::Stats => 0x08,
+            Request::Introspect => 0x09,
         }
     }
 
@@ -97,6 +104,7 @@ impl Request {
             Request::Sleep { .. } => "sleep",
             Request::Panic => "panic",
             Request::Stats => "stats",
+            Request::Introspect => "introspect",
         }
     }
 
@@ -104,7 +112,7 @@ impl Request {
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Ping | Request::Panic | Request::Stats => {}
+            Request::Ping | Request::Panic | Request::Stats | Request::Introspect => {}
             Request::SpQuery { from, to } => {
                 out.extend_from_slice(&from.to_le_bytes());
                 out.extend_from_slice(&to.to_le_bytes());
@@ -160,6 +168,7 @@ impl Request {
             0x06 => Request::Sleep { ms: c.u32()? },
             0x07 => Request::Panic,
             0x08 => Request::Stats,
+            0x09 => Request::Introspect,
             other => return Err(ProtoError::UnknownOpcode { op: other }),
         };
         c.finish()?;
@@ -189,7 +198,203 @@ pub enum Response {
         busy_workers: u32,
         draining: bool,
     },
+    /// Live introspection snapshot; payload is versioned (see
+    /// [`Introspection`]).
+    Introspect(Introspection),
     Error(ServeError),
+}
+
+/// The `Introspect` response body: everything `igdb top` renders.
+///
+/// The wire payload leads with a one-byte version ([`INTROSPECT_VERSION`]);
+/// a decoder seeing a version it does not understand refuses the whole
+/// payload with a typed [`ProtoError::BadValue`] instead of guessing at
+/// field offsets — the schema can evolve without silently misreading old
+/// clients.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Introspection {
+    /// Currently published epoch number.
+    pub epoch: u64,
+    /// Microseconds since the server started.
+    pub uptime_us: u64,
+    pub workers: u32,
+    pub busy_workers: u32,
+    pub queue_depth: u32,
+    pub queue_capacity: u32,
+    pub draining: bool,
+    /// Flight-recorder view: exact ledger, ring/slow summary, per-client
+    /// table, epoch-pin distribution.
+    pub recorder: RecorderSnapshot,
+    /// The registry's deterministic counter snapshot
+    /// (`name{label} value` lines) — reading it over the wire must not
+    /// perturb the gated stream.
+    pub counters: String,
+}
+
+/// Current version of the [`Introspection`] wire payload.
+pub const INTROSPECT_VERSION: u8 = 1;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_digest(out: &mut Vec<u8>, d: &HistDigest) {
+    for v in [d.count, d.p50_us, d.p99_us, d.max_us] {
+        put_u64(out, v);
+    }
+}
+
+fn get_digest(c: &mut Cur<'_>) -> Result<HistDigest, ProtoError> {
+    Ok(HistDigest {
+        count: c.u64()?,
+        p50_us: c.u64()?,
+        p99_us: c.u64()?,
+        max_us: c.u64()?,
+    })
+}
+
+impl Introspection {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(INTROSPECT_VERSION);
+        put_u64(out, self.epoch);
+        put_u64(out, self.uptime_us);
+        for v in [self.workers, self.busy_workers, self.queue_depth, self.queue_capacity] {
+            put_u32(out, v);
+        }
+        out.push(self.draining as u8);
+        let r = &self.recorder;
+        put_u64(out, r.requests);
+        put_u64(out, r.ok);
+        for v in r.err {
+            put_u64(out, v);
+        }
+        put_u64(out, r.live);
+        for v in r.rejected {
+            put_u64(out, v);
+        }
+        put_u64(out, r.bytes_in);
+        put_u64(out, r.bytes_out);
+        put_u32(out, r.ring_len);
+        put_u32(out, r.ring_cap);
+        put_u64(out, r.slow_count);
+        put_u64(out, r.slow_ms);
+        put_u32(out, r.clients.len() as u32);
+        for row in &r.clients {
+            put_u64(out, row.conn);
+            put_u64(out, row.requests);
+            put_u64(out, row.ok);
+            for v in row.err {
+                put_u64(out, v);
+            }
+            for v in row.rejected {
+                put_u64(out, v);
+            }
+            put_u64(out, row.bytes_in);
+            put_u64(out, row.bytes_out);
+            put_digest(out, &row.queue_wait);
+        }
+        put_u32(out, r.epoch_pins.len() as u32);
+        for &(e, n) in &r.epoch_pins {
+            put_u64(out, e);
+            put_u64(out, n);
+        }
+        put_u64(out, r.pins_evicted);
+        put_digest(out, &r.epoch_lag);
+        put_u32(out, self.counters.len() as u32);
+        out.extend_from_slice(self.counters.as_bytes());
+    }
+
+    fn decode_from(c: &mut Cur<'_>) -> Result<Self, ProtoError> {
+        let version = c.u8()?;
+        if version != INTROSPECT_VERSION {
+            return Err(ProtoError::BadValue {
+                what: "unsupported introspection payload version",
+            });
+        }
+        let epoch = c.u64()?;
+        let uptime_us = c.u64()?;
+        let workers = c.u32()?;
+        let busy_workers = c.u32()?;
+        let queue_depth = c.u32()?;
+        let queue_capacity = c.u32()?;
+        let draining = c.u8()? != 0;
+        let mut r = RecorderSnapshot {
+            requests: c.u64()?,
+            ok: c.u64()?,
+            ..Default::default()
+        };
+        for v in r.err.iter_mut() {
+            *v = c.u64()?;
+        }
+        r.live = c.u64()?;
+        for v in r.rejected.iter_mut() {
+            *v = c.u64()?;
+        }
+        r.bytes_in = c.u64()?;
+        r.bytes_out = c.u64()?;
+        r.ring_len = c.u32()?;
+        r.ring_cap = c.u32()?;
+        r.slow_count = c.u64()?;
+        r.slow_ms = c.u64()?;
+        let n_clients = c.u32()? as usize;
+        // Bound before allocating (a client row is at least 15 u64s plus
+        // the queue-wait digest on the wire).
+        if n_clients > c.remaining() / (19 * 8) {
+            return Err(ProtoError::BadValue {
+                what: "client-table count disagrees with payload length",
+            });
+        }
+        let mut clients = Vec::with_capacity(n_clients);
+        for _ in 0..n_clients {
+            let mut row = ClientRow {
+                conn: c.u64()?,
+                requests: c.u64()?,
+                ok: c.u64()?,
+                ..Default::default()
+            };
+            for v in row.err.iter_mut() {
+                *v = c.u64()?;
+            }
+            for v in row.rejected.iter_mut() {
+                *v = c.u64()?;
+            }
+            row.bytes_in = c.u64()?;
+            row.bytes_out = c.u64()?;
+            row.queue_wait = get_digest(c)?;
+            clients.push(row);
+        }
+        r.clients = clients;
+        let n_pins = c.u32()? as usize;
+        if n_pins > c.remaining() / 16 {
+            return Err(ProtoError::BadValue {
+                what: "epoch-pin count disagrees with payload length",
+            });
+        }
+        let mut pins = Vec::with_capacity(n_pins);
+        for _ in 0..n_pins {
+            pins.push((c.u64()?, c.u64()?));
+        }
+        r.epoch_pins = pins;
+        r.pins_evicted = c.u64()?;
+        r.epoch_lag = get_digest(c)?;
+        let len = c.u32()? as usize;
+        let counters = String::from_utf8_lossy(c.bytes(len)?).into_owned();
+        Ok(Introspection {
+            epoch,
+            uptime_us,
+            workers,
+            busy_workers,
+            queue_depth,
+            queue_capacity,
+            draining,
+            recorder: r,
+            counters,
+        })
+    }
 }
 
 impl Response {
@@ -204,6 +409,7 @@ impl Response {
             Response::Footprint { .. } => 0x86,
             Response::Slept => 0x87,
             Response::Stats { .. } => 0x88,
+            Response::Introspect(_) => 0x89,
             Response::Error(_) => TAG_ERROR,
         }
     }
@@ -233,6 +439,7 @@ impl Response {
                 }
                 out.push(*draining as u8);
             }
+            Response::Introspect(i) => i.encode_into(&mut out),
             Response::Error(e) => {
                 out.push(e.code());
                 let (aux, detail): (u64, &str) = match e {
@@ -276,6 +483,7 @@ impl Response {
                 busy_workers: c.u32()?,
                 draining: c.u8()? != 0,
             },
+            0x89 => Response::Introspect(Introspection::decode_from(&mut c)?),
             TAG_ERROR => {
                 let code = c.u8()?;
                 let aux = c.u64()?;
@@ -491,6 +699,11 @@ impl<'a> Cur<'a> {
         Ok(f64::from_bits(self.u64()?))
     }
 
+    /// Bytes not yet consumed (length-prefix sanity bounds).
+    fn remaining(&self) -> usize {
+        self.b.len() - self.off
+    }
+
     fn finish(&self) -> Result<(), ProtoError> {
         if self.off == self.b.len() {
             Ok(())
@@ -529,6 +742,7 @@ mod tests {
         roundtrip_request(Request::Sleep { ms: 40 });
         roundtrip_request(Request::Panic);
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Introspect);
     }
 
     #[test]
@@ -558,6 +772,85 @@ mod tests {
             let payload = resp.encode_payload();
             assert_eq!(Response::decode(resp.tag(), &payload).unwrap(), resp);
         }
+    }
+
+    fn sample_introspection() -> Introspection {
+        Introspection {
+            epoch: 3,
+            uptime_us: 1_234_567,
+            workers: 4,
+            busy_workers: 2,
+            queue_depth: 1,
+            queue_capacity: 64,
+            draining: false,
+            recorder: RecorderSnapshot {
+                requests: 100,
+                ok: 90,
+                err: [0, 7, 0, 2, 0],
+                live: 1,
+                rejected: [1, 0, 5, 0, 0],
+                bytes_in: 4200,
+                bytes_out: 9001,
+                ring_len: 100,
+                ring_cap: 256,
+                slow_count: 3,
+                slow_ms: 50,
+                clients: vec![
+                    ClientRow {
+                        conn: 1,
+                        requests: 60,
+                        ok: 55,
+                        err: [0, 5, 0, 0, 0],
+                        rejected: [0, 0, 3, 0, 0],
+                        bytes_in: 2520,
+                        bytes_out: 5000,
+                        queue_wait: HistDigest { count: 60, p50_us: 40, p99_us: 900, max_us: 1500 },
+                    },
+                    ClientRow { conn: 2, requests: 40, ok: 35, ..Default::default() },
+                ],
+                epoch_pins: vec![(2, 30), (3, 70)],
+                pins_evicted: 12,
+                epoch_lag: HistDigest { count: 30, p50_us: 100, p99_us: 4000, max_us: 9000 },
+            },
+            counters: "serve.ok{ping} 32\nserve.ok{sp_query} 152\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn introspection_roundtrips_versioned() {
+        let resp = Response::Introspect(sample_introspection());
+        let payload = resp.encode_payload();
+        assert_eq!(payload[0], INTROSPECT_VERSION, "payload leads with the version");
+        assert_eq!(Response::decode(resp.tag(), &payload).unwrap(), resp);
+        // An all-defaults snapshot (fresh server) round-trips too.
+        let empty = Response::Introspect(Introspection::default());
+        assert_eq!(
+            Response::decode(0x89, &empty.encode_payload()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn unknown_introspection_version_is_refused_typed() {
+        let mut payload = Response::Introspect(sample_introspection()).encode_payload();
+        payload[0] = INTROSPECT_VERSION + 1;
+        match Response::decode(0x89, &payload) {
+            Err(ProtoError::BadValue { what }) => {
+                assert!(what.contains("version"), "got: {what}")
+            }
+            other => panic!("expected a typed version refusal, got {other:?}"),
+        }
+        // A count field inconsistent with the bytes present is refused
+        // before allocation, like SpBatch.
+        let mut payload = Response::Introspect(sample_introspection()).encode_payload();
+        let clients_off = 1 + 8 + 8 + 16 + 1 // version..draining
+            + 8 * (1 + 1 + 5 + 1 + 5 + 1 + 1) // ledger
+            + 4 + 4 + 8 + 8; // ring summary
+        payload[clients_off..clients_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Response::decode(0x89, &payload),
+            Err(ProtoError::BadValue { .. })
+        ));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! ```text
 //! accept ─▶ reader ──(admit)──▶ bounded queue ──▶ worker pool ──▶ writer
 //!              │                     │                              (per-conn
-//!              └── inline: Stats, BadRequest, Overloaded,            mutex)
-//!                  ShuttingDown — never needs worker capacity
+//!              └── inline: Stats, Introspect, BadRequest,            mutex)
+//!                  Overloaded, ShuttingDown — never needs worker
+//!                  capacity
 //! ```
 //!
 //! Robustness is the load-bearing feature:
@@ -31,15 +32,27 @@
 //! # Metric classes
 //!
 //! Deterministic counters (in the gated snapshot): `serve.requests{kind}`
-//! at admission and `serve.ok{kind}` on success — pure functions of the
-//! accepted workload, worker-count invariant. Everything timing- or
+//! and `serve.bytes_in{kind}` at admission, `serve.ok{kind}` and
+//! `serve.bytes_out{kind}` on success — pure functions of the accepted
+//! workload, worker-count and SP-mode invariant (success payloads are
+//! bit-identical by the SP-equivalence contract). Everything timing- or
 //! scheduling-shaped is perf-class: `serve.rejects{shed|shutting_down|
 //! bad_request}` (reader-side refusals), `serve.err{name}` (worker-side
-//! failures), `serve.conns{…}` lifecycle tallies, `serve.write_errors`,
-//! and the `serve.queue_depth` / `serve.queue_wait_us` /
-//! `serve.request_us{kind}` histograms. Workers install the registry
-//! with [`igdb_obs::suppress_spans`]: the analyses' counters and latency
-//! histograms flow, their serial-only spans do not.
+//! failures), `serve.bytes_out_err{kind}` (error-response bytes — which
+//! requests fail depends on timing), `serve.conns{…}` lifecycle tallies,
+//! `serve.write_errors`, and the `serve.queue_depth` /
+//! `serve.queue_wait_us` / `serve.request_us{kind}` histograms.
+//!
+//! # Request-scoped tracing
+//!
+//! The reader opens an [`igdb_obs::TraceContext`] per admitted request
+//! (trace id = connection id + frame correlation id) and ships it through
+//! the queue in the [`Job`]. The worker installs it for the request's
+//! lifetime, so the analyses' free spans build the request's own tree —
+//! `request → queue.wait / execute / encode` — instead of being gagged:
+//! the registry's serial span list (determinism rule 2) never sees a pool
+//! thread, and completed traces land in the [`FlightRecorder`] (ring,
+//! slow-query log, per-client accounting, epoch-pin visibility).
 
 use std::collections::VecDeque;
 use std::io;
@@ -47,7 +60,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,12 +69,14 @@ use igdb_core::analysis::{footprint, risk};
 use igdb_core::{EpochHandle, Igdb, SpWorkspace};
 use igdb_fault::ServeError;
 use igdb_geo::{GeoPoint, Polygon};
-use igdb_obs::Registry;
+use igdb_obs::{Registry, TraceContext};
 
 use crate::deadline::Deadline;
 use crate::proto::{
-    read_frame, write_frame, FrameError, Request, Response, DEFAULT_MAX_FRAME,
+    read_frame, write_frame, FrameError, Introspection, Request, Response, DEFAULT_MAX_FRAME,
+    HEADER_LEN,
 };
+use crate::recorder::{FlightRecorder, RecorderConfig, RequestTrace};
 
 /// Server tuning knobs. The defaults suit an interactive deployment;
 /// the chaos tests shrink the timeouts and the queue to make every
@@ -81,6 +96,14 @@ pub struct ServerConfig {
     pub max_frame: u32,
     /// Whether the chaos instruments (`Sleep`, `Panic`) decode.
     pub enable_test_ops: bool,
+    /// Flight-recorder ring capacity (completed request traces kept).
+    pub trace_ring: usize,
+    /// Requests whose wall time is at or above this go to the slow-query
+    /// log; 0 disables slow classification.
+    pub slow_ms: u64,
+    /// Where slow-query traces are appended as span JSONL; `None` keeps
+    /// them in the ring only.
+    pub slow_log: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +115,9 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(2),
             max_frame: DEFAULT_MAX_FRAME,
             enable_test_ops: false,
+            trace_ring: 256,
+            slow_ms: 0,
+            slow_log: None,
         }
     }
 }
@@ -244,6 +270,13 @@ struct Job {
     req: Request,
     deadline: Deadline,
     enqueued: Instant,
+    /// The request's own span tree, opened by the reader at admission
+    /// and installed by whichever worker picks the job up.
+    trace: TraceContext,
+    /// Server-assigned connection id (per-client accounting key).
+    conn: u64,
+    /// Full frame bytes (header + payload) this request arrived as.
+    bytes_in: u64,
 }
 
 /// The per-connection response writer. Workers and the reader share it;
@@ -255,8 +288,14 @@ struct ConnWriter {
 
 impl ConnWriter {
     fn send(&self, id: u64, resp: &Response) -> io::Result<()> {
+        self.send_raw(id, resp.tag(), &resp.encode_payload())
+    }
+
+    /// Frame-write a pre-encoded payload (workers encode under the
+    /// request's `encode` span, then hand the bytes here).
+    fn send_raw(&self, id: u64, tag: u8, payload: &[u8]) -> io::Result<()> {
         let mut s = self.stream.lock().unwrap_or_else(|e| e.into_inner());
-        write_frame(&mut *s, id, 0, resp.tag(), &resp.encode_payload())
+        write_frame(&mut *s, id, 0, tag, payload)
     }
 }
 
@@ -276,6 +315,14 @@ struct Shared {
     conns: Mutex<Vec<Stream>>,
     /// Reader threads spawned so far (joined by drain).
     readers: Mutex<Vec<JoinHandle<()>>>,
+    /// Completed-request traces, slow-query log, per-client ledger.
+    recorder: FlightRecorder,
+    /// When the server came up (introspection uptime).
+    started: Instant,
+    /// Next connection id (1-based; 0 means "no connection").
+    next_conn: AtomicU64,
+    /// Resolved worker-thread count (introspection).
+    workers_n: usize,
 }
 
 impl Shared {
@@ -294,6 +341,8 @@ impl Shared {
             return Err(ServeError::Overloaded { queue_depth: depth });
         }
         self.reg.counter_add("serve.requests", job.req.kind(), 1);
+        self.reg.counter_add("serve.bytes_in", job.req.kind(), job.bytes_in);
+        self.recorder.on_admit(job.conn, job.bytes_in);
         q.push_back(job);
         let depth = q.len() as u64;
         drop(q);
@@ -326,6 +375,24 @@ impl Shared {
             draining: self.draining.load(Ordering::SeqCst),
         }
     }
+
+    /// One live introspection snapshot: liveness gauges plus the flight
+    /// recorder's ledger, client table, ring summary and epoch pins, plus
+    /// the registry's deterministic counter text (so `igdb top` can show
+    /// the gated stream without a second op).
+    fn introspect(&self) -> Introspection {
+        Introspection {
+            epoch: self.epochs.current().number,
+            uptime_us: self.started.elapsed().as_micros() as u64,
+            workers: self.workers_n as u32,
+            busy_workers: self.busy.load(Ordering::SeqCst) as u32,
+            queue_depth: self.queue.lock().unwrap_or_else(|e| e.into_inner()).len() as u32,
+            queue_capacity: self.cfg.queue_capacity as u32,
+            draining: self.draining.load(Ordering::SeqCst),
+            recorder: self.recorder.snapshot(),
+            counters: self.reg.counter_snapshot(),
+        }
+    }
 }
 
 /// What [`Server::drain`] hands back once every thread has joined.
@@ -349,8 +416,8 @@ pub struct Server {
 }
 
 /// All request kinds, for summing per-kind counters.
-pub const KINDS: [&str; 8] =
-    ["ping", "sp_query", "sp_batch", "risk", "footprint", "sleep", "panic", "stats"];
+pub const KINDS: [&str; 9] =
+    ["ping", "sp_query", "sp_batch", "risk", "footprint", "sleep", "panic", "stats", "introspect"];
 
 impl Server {
     /// Starts serving on `listener`. The shared [`Igdb`]'s physical
@@ -370,6 +437,11 @@ impl Server {
             igdb.phys_graph().engine().prepare_ch();
         }
         let workers = if cfg.workers == 0 { igdb_par::num_threads() } else { cfg.workers };
+        let recorder = FlightRecorder::new(RecorderConfig {
+            ring: cfg.trace_ring,
+            slow_ms: cfg.slow_ms,
+            slow_log: cfg.slow_log.clone(),
+        })?;
         let shared = Arc::new(Shared {
             epochs: Arc::new(EpochHandle::new_shared(igdb)),
             cfg,
@@ -380,6 +452,10 @@ impl Server {
             busy: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
+            recorder,
+            started: Instant::now(),
+            next_conn: AtomicU64::new(0),
+            workers_n: workers,
         });
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|i| {
@@ -419,6 +495,17 @@ impl Server {
         Arc::clone(&self.shared.epochs)
     }
 
+    /// The flight recorder's current ring contents, oldest first
+    /// (tests and in-process tooling; the wire gets [`Self::introspection`]).
+    pub fn traces(&self) -> Vec<RequestTrace> {
+        self.shared.recorder.traces()
+    }
+
+    /// The same snapshot the `Introspect` op answers with.
+    pub fn introspection(&self) -> Introspection {
+        self.shared.introspect()
+    }
+
     /// Graceful shutdown: stop admitting (new requests get a typed
     /// `ShuttingDown`), finish everything already queued, write every
     /// response, then close connections and join all threads.
@@ -444,6 +531,7 @@ impl Server {
         for r in readers {
             let _ = r.join();
         }
+        self.shared.recorder.flush();
         let reg = &self.shared.reg;
         let served = KINDS.iter().map(|k| reg.counter_value("serve.ok", k)).sum();
         let errors =
@@ -490,7 +578,7 @@ fn acceptor_loop(shared: &Arc<Shared>, listener: Listener) {
 /// must not depend on worker capacity (control ops and refusals).
 fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
     let _ins = shared.reg.install();
-    let _gag = igdb_obs::suppress_spans();
+    let conn = shared.next_conn.fetch_add(1, Ordering::SeqCst) + 1;
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(ConnWriter { stream: Mutex::new(w) }),
         Err(_) => {
@@ -502,12 +590,22 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
     let close_label = loop {
         match read_frame(&mut reader, shared.cfg.max_frame) {
             Ok(frame) => {
+                let bytes_in = (HEADER_LEN + frame.payload.len()) as u64;
                 match Request::decode(frame.op, &frame.payload) {
                     Ok(req) => {
                         // Control plane: answered inline, never queued.
                         if matches!(req, Request::Stats) {
                             shared.reg.perf_add("serve.control", "stats", 1);
                             if writer.send(frame.id, &shared.stats()).is_err() {
+                                shared.reg.perf_add("serve.write_errors", "", 1);
+                                break "closed_error";
+                            }
+                            continue;
+                        }
+                        if matches!(req, Request::Introspect) {
+                            shared.reg.perf_add("serve.control", "introspect", 1);
+                            let resp = Response::Introspect(shared.introspect());
+                            if writer.send(frame.id, &resp).is_err() {
                                 shared.reg.perf_add("serve.write_errors", "", 1);
                                 break "closed_error";
                             }
@@ -520,6 +618,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
                             let e = ServeError::BadRequest {
                                 detail: "test op on a production server".into(),
                             };
+                            shared.recorder.on_reject(conn, &e);
                             if writer.send(frame.id, &Response::Error(e)).is_err() {
                                 shared.reg.perf_add("serve.write_errors", "", 1);
                                 break "closed_error";
@@ -532,14 +631,18 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
                             Duration::from_millis(frame.deadline_ms as u64)
                         };
                         let job = Job {
+                            trace: TraceContext::new(conn, frame.id, req.kind()),
                             writer: Arc::clone(&writer),
                             id: frame.id,
                             req,
                             deadline: Deadline::after(budget),
                             enqueued: Instant::now(),
+                            conn,
+                            bytes_in,
                         };
                         if let Err(e) = shared.admit(job) {
                             // Refusal (shed / shutting down): typed, inline.
+                            shared.recorder.on_reject(conn, &e);
                             if writer.send(frame.id, &Response::Error(e)).is_err() {
                                 shared.reg.perf_add("serve.write_errors", "", 1);
                                 break "closed_error";
@@ -552,6 +655,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
                         // desynchronized past this point.
                         shared.reg.perf_add("serve.rejects", "bad_request", 1);
                         let e = ServeError::BadRequest { detail: pe.to_string() };
+                        shared.recorder.on_reject(conn, &e);
                         let _ = writer.send(frame.id, &Response::Error(e));
                         break "closed_proto";
                     }
@@ -572,6 +676,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
                 let err = ServeError::BadRequest {
                     detail: "stalled mid-frame past the io timeout".into(),
                 };
+                shared.recorder.on_reject(conn, &err);
                 let _ = writer.send(0, &Response::Error(err));
                 break "closed_stall";
             }
@@ -579,6 +684,7 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
                 // Unframeable bytes: one typed error, then hang up.
                 shared.reg.perf_add("serve.rejects", "bad_request", 1);
                 let e = ServeError::BadRequest { detail: pe.to_string() };
+                shared.recorder.on_reject(conn, &e);
                 let _ = writer.send(0, &Response::Error(e));
                 break "closed_proto";
             }
@@ -597,54 +703,110 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream) {
 
 fn worker_loop(shared: &Arc<Shared>) {
     let _ins = shared.reg.install();
-    // Workers are pool threads: the analyses' spans are serial-only, so
-    // they are gagged here while counters and histograms keep flowing.
-    let _gag = igdb_obs::suppress_spans();
     let mut ws = SpWorkspace::new();
     while let Some(job) = shared.next_job() {
         shared.busy.fetch_add(1, Ordering::SeqCst);
-        shared
-            .reg
-            .observe("serve.queue_wait_us", "", job.enqueued.elapsed().as_micros() as u64);
+        let wait_us = job.enqueued.elapsed().as_micros() as u64;
+        shared.reg.observe("serve.queue_wait_us", "", wait_us);
         let kind = job.req.kind();
-        let resp = if let Err(e) = job.deadline.check() {
-            // Expired while queued: don't burn a worker on a dead request.
-            Response::Error(e)
+        // Install the request's trace for this job's lifetime: the
+        // analyses' free spans route here (never to the registry's
+        // serial span list), and the cross-thread queue wait — which
+        // this thread never *observed* as an open span — is backfilled
+        // as a closed child of the root.
+        let trace = job.trace.clone();
+        let _t = trace.install();
+        trace.record("queue.wait", trace.offset_us(job.enqueued), wait_us);
+        let (resp, pinned_no, pinned_at) = if let Err(e) = job.deadline.check() {
+            // Expired while queued: don't burn a worker on a dead
+            // request. No epoch is pinned; account against the current
+            // one so the trace still says what world it *would* have
+            // seen.
+            let cur = shared.epochs.current();
+            (Response::Error(e), cur.number, cur.published_at)
         } else {
             // Pin once per request: everything this request touches —
             // graph, corridors, tables — comes from one epoch, even if a
             // delta is published while it runs.
             let epoch = shared.epochs.current();
-            let timer = igdb_obs::hist_timer("serve.request_us", kind);
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                execute(&epoch.igdb, &mut ws, &job.req, &job.deadline)
-            }));
-            drop(timer);
-            match outcome {
-                Ok(Ok(resp)) => {
-                    igdb_obs::counter("serve.ok", kind, 1);
-                    resp
+            let resp = {
+                let _exec = igdb_obs::span("execute");
+                let timer = igdb_obs::hist_timer("serve.request_us", kind);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    execute(&epoch.igdb, &mut ws, &job.req, &job.deadline)
+                }));
+                drop(timer);
+                match outcome {
+                    Ok(Ok(resp)) => {
+                        igdb_obs::counter("serve.ok", kind, 1);
+                        resp
+                    }
+                    Ok(Err(e)) => Response::Error(e),
+                    Err(payload) => {
+                        // Containment boundary: the panic stops here; the
+                        // worker, its workspace (generation-stamped, safe
+                        // to reuse), and the shared caches all keep
+                        // serving. (`&*payload`: the box must deref
+                        // before the unsize, or the Box itself becomes
+                        // the `dyn Any` and every downcast misses.)
+                        Response::Error(ServeError::Internal {
+                            detail: panic_detail(&*payload),
+                        })
+                    }
                 }
-                Ok(Err(e)) => Response::Error(e),
-                Err(payload) => {
-                    // Containment boundary: the panic stops here; the
-                    // worker, its workspace (generation-stamped, safe to
-                    // reuse), and the shared caches all keep serving.
-                    // (`&*payload`: the box must deref before the unsize,
-                    // or the Box itself becomes the `dyn Any` and every
-                    // downcast misses.)
-                    Response::Error(ServeError::Internal { detail: panic_detail(&*payload) })
-                }
-            }
+            };
+            (resp, epoch.number, epoch.published_at)
         };
-        if let Response::Error(e) = &resp {
-            igdb_obs::perf("serve.err", e.name(), 1);
+        let err_code = match &resp {
+            Response::Error(e) => {
+                igdb_obs::perf("serve.err", e.name(), 1);
+                Some(e.code())
+            }
+            _ => None,
+        };
+        let bytes_out;
+        {
+            let _enc = igdb_obs::span("encode");
+            let payload = resp.encode_payload();
+            bytes_out = (HEADER_LEN + payload.len()) as u64;
+            if job.writer.send_raw(job.id, resp.tag(), &payload).is_err() {
+                // The peer vanished mid-request; the response is still
+                // accounted (ok/err above), this only tallies the lost
+                // write.
+                igdb_obs::perf("serve.write_errors", "", 1);
+            }
         }
-        if job.writer.send(job.id, &resp).is_err() {
-            // The peer vanished mid-request; the response is still
-            // accounted (ok/err above), this only tallies the lost write.
-            igdb_obs::perf("serve.write_errors", "", 1);
+        if err_code.is_none() {
+            // Success payloads are deterministic (SP-equivalence makes
+            // them bit-identical across modes), so their bytes gate.
+            igdb_obs::counter("serve.bytes_out", kind, bytes_out);
+        } else {
+            // Which requests fail is timing-shaped: perf-class.
+            igdb_obs::perf("serve.bytes_out_err", kind, bytes_out);
         }
+        drop(_t);
+        let newest = shared.epochs.current();
+        let start_offset_us = trace
+            .started()
+            .saturating_duration_since(shared.recorder.started())
+            .as_micros() as u64;
+        let record = trace.finish();
+        shared.recorder.on_done(
+            RequestTrace {
+                conn: job.conn,
+                corr: job.id,
+                kind,
+                epoch: pinned_no,
+                err_code,
+                queue_wait_us: wait_us,
+                bytes_in: job.bytes_in,
+                bytes_out,
+                start_offset_us,
+                record,
+            },
+            pinned_at,
+            (newest.number, newest.published_at),
+        );
         shared.busy.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -753,9 +915,9 @@ fn execute(
             Ok(Response::Slept)
         }
         Request::Panic => panic!("injected analysis panic (chaos harness)"),
-        Request::Stats => {
-            // Stats is answered inline by the reader; reaching a worker
-            // is a dispatch bug.
+        Request::Stats | Request::Introspect => {
+            // Control ops are answered inline by the reader; reaching a
+            // worker is a dispatch bug.
             Err(ServeError::Internal { detail: "control op reached a worker".into() })
         }
     }

@@ -347,6 +347,340 @@ fn serve_counter_stream_is_worker_count_invariant_and_matches_golden() {
 }
 
 // ---------------------------------------------------------------------------
+// Live introspection: the flight recorder over the wire
+// ---------------------------------------------------------------------------
+
+/// Mid-storm, every `Introspect` snapshot must satisfy the exact ledger
+/// law `requests == ok + Σerr + live` (the recorder takes it under one
+/// lock), and after the storm the wire totals must equal the registry's
+/// own accounting — the stats op reports the same truth the counters do.
+#[test]
+fn introspection_ledger_is_exact_mid_storm_and_matches_registry() {
+    let igdb = fresh_igdb();
+    let server = start_unix(Arc::clone(&igdb), "intro", chaos_cfg(2));
+    let reg = server.registry();
+    let addr = server.addr();
+    let n = igdb.metros.len() as u32;
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut storm = Vec::new();
+    for t in 0..3u32 {
+        let addr = addr.clone();
+        storm.push(std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+            for i in 0..25u32 {
+                match (t + i) % 4 {
+                    // A sleep that outlives its deadline: a typed Timeout.
+                    0 => {
+                        let _ = c.call(&Request::Sleep { ms: 20 }, 5);
+                    }
+                    1 => {
+                        let _ = c.call(&Request::SpQuery { from: 0, to: (n - 1) % n }, 0);
+                    }
+                    2 => {
+                        let _ = c.call(&Request::Footprint { top_n: 5 }, 0);
+                    }
+                    _ => {
+                        let _ = c.call(&Request::Ping, 0);
+                    }
+                }
+            }
+        }));
+    }
+    let prober = {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr, Duration::from_secs(5)).expect("connect");
+            let mut probes = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                match c.call(&Request::Introspect, 0).expect("introspect") {
+                    Response::Introspect(i) => {
+                        let r = &i.recorder;
+                        assert_eq!(
+                            r.requests,
+                            r.ok + r.err_total() + r.live,
+                            "ledger law broken mid-storm: {r:?}"
+                        );
+                        assert_eq!(i.workers, 2);
+                        assert_eq!(i.queue_capacity, 3);
+                        probes += 1;
+                    }
+                    other => panic!("expected Introspect, got {other:?}"),
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            probes
+        })
+    };
+    for h in storm {
+        h.join().expect("storm thread");
+    }
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let probes = prober.join().expect("prober");
+    assert!(probes > 0, "the prober never sampled mid-storm");
+
+    // Quiesce: every admitted request completes (workers drain the queue).
+    let t0 = std::time::Instant::now();
+    let intro = loop {
+        let i = server.introspection();
+        if i.recorder.live == 0 {
+            break i;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "requests stuck live");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let r = &intro.recorder;
+    assert_eq!(r.requests, r.ok + r.err_total(), "post-storm ledger unbalanced");
+    assert_eq!(r.requests, 75, "3 threads x 25 admitted requests");
+
+    // The wire totals equal the registry's exact accounting.
+    let admitted: u64 = KINDS.iter().map(|k| reg.counter_value("serve.requests", k)).sum();
+    let ok: u64 = KINDS.iter().map(|k| reg.counter_value("serve.ok", k)).sum();
+    let errs: u64 = ServeError::NAMES.iter().map(|n| reg.perf_value("serve.err", n)).sum();
+    assert_eq!(r.requests, admitted);
+    assert_eq!(r.ok, ok);
+    assert_eq!(r.err_total(), errs);
+    assert!(r.err[1] > 0, "the storm's tight deadlines never timed out");
+    let bytes_in: u64 = KINDS.iter().map(|k| reg.counter_value("serve.bytes_in", k)).sum();
+    assert_eq!(r.bytes_in, bytes_in);
+
+    // Per-client rows: one per storm connection (the prober only issued
+    // control ops, which are never admitted), each summing to the totals.
+    assert_eq!(r.clients.len(), 3, "clients: {:?}", r.clients);
+    assert_eq!(r.clients.iter().map(|c| c.requests).sum::<u64>(), r.requests);
+    assert_eq!(r.clients.iter().map(|c| c.ok).sum::<u64>(), r.ok);
+    for c in &r.clients {
+        assert_eq!(c.requests, 25);
+        assert!(c.bytes_in > 0 && c.bytes_out > 0);
+        assert_eq!(c.queue_wait.count, c.ok + c.err.iter().sum::<u64>());
+    }
+    // Every completed request pinned an epoch; one epoch, no churn.
+    let pinned: u64 = r.epoch_pins.iter().map(|&(_, n)| n).sum();
+    assert_eq!(pinned + r.pins_evicted, r.requests);
+    assert_eq!(r.epoch_lag.count, 0, "no churn, no lag samples");
+
+    server.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Trace structure: deterministic across worker counts
+// ---------------------------------------------------------------------------
+
+/// The sorted multiset of (kind, span shape, per-request counters) over a
+/// fixed 300-request mix — the structural fingerprint of every request's
+/// trace. Timings vary run to run; this must not.
+fn trace_profile(server: &Server) -> Vec<(String, Vec<(usize, String)>, Vec<(String, String, u64)>)> {
+    let mut v: Vec<_> = server
+        .traces()
+        .iter()
+        .map(|rt| {
+            rt.record.check_nesting().expect("trace nesting");
+            assert_eq!(rt.record.root().unwrap().name, rt.kind, "root carries the kind");
+            (
+                rt.kind.to_string(),
+                rt.record.shape(),
+                rt.record
+                    .counters
+                    .iter()
+                    .map(|(n, l, c)| (n.to_string(), l.to_string(), *c))
+                    .collect(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn trace_structure_is_worker_count_invariant() {
+    let mut profiles = Vec::new();
+    for workers in [1usize, 4] {
+        let cfg = ServerConfig {
+            workers,
+            trace_ring: 512,
+            default_deadline: Duration::from_secs(30),
+            ..ServerConfig::default()
+        };
+        let server = start_unix(fresh_igdb(), &format!("traces{workers}"), cfg);
+        let loadgen =
+            LoadgenConfig { requests: 300, conns: 2, seed: 7, ..LoadgenConfig::default() };
+        let n_metros = {
+            let mut c =
+                Client::connect(&server.addr(), Duration::from_secs(5)).expect("connect");
+            match c.call(&Request::Stats, 0).expect("stats") {
+                Response::Stats { n_metros, .. } => n_metros as usize,
+                other => panic!("stats probe: {other:?}"),
+            }
+        };
+        let reg = Registry::new();
+        let summary = igdb_serve::run_loadgen(&server.addr(), n_metros, &loadgen, &reg);
+        assert_eq!(summary.ok, 300, "clean run required for the fingerprint");
+        // The client can see the last response before its worker files the
+        // trace (the recorder hook runs after the response write): wait
+        // for the ring to quiesce.
+        let t0 = std::time::Instant::now();
+        while server.traces().len() < 300 && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let profile = trace_profile(&server);
+        assert_eq!(profile.len(), 300, "every request leaves exactly one trace");
+        // Structure sanity on one sample: root → queue.wait / execute /
+        // encode, with any analysis spans nested under execute.
+        let sample = &profile[0].1;
+        let names: Vec<&str> = sample.iter().map(|(_, n)| n.as_str()).collect();
+        assert!(names.contains(&"queue.wait"), "shape: {names:?}");
+        assert!(names.contains(&"execute"), "shape: {names:?}");
+        assert!(names.contains(&"encode"), "shape: {names:?}");
+        profiles.push(profile);
+        server.drain();
+    }
+    assert_eq!(
+        profiles[0], profiles[1],
+        "trace structure (names, nesting, counters) depends on worker count"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Slow-query flight recorder under a deadline storm
+// ---------------------------------------------------------------------------
+
+/// A deadline storm must leave slow-log entries whose span breakdown
+/// accounts for >= 95% of each request's wall time (queue wait +
+/// execution + encode), parseable by the standard JSON-lines reader.
+#[test]
+fn slow_log_spans_account_for_request_wall_time() {
+    let path = std::env::temp_dir()
+        .join(format!("igdb-slowlog-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServerConfig {
+        slow_ms: 1,
+        slow_log: Some(path.clone()),
+        queue_capacity: 8,
+        ..chaos_cfg(2)
+    };
+    let igdb = fresh_igdb();
+    let server = start_unix(Arc::clone(&igdb), "slowlog", cfg);
+
+    // The storm: pipelined sleeps against a tight budget — some time out
+    // mid-execution, some expire while queued (their trace is queue.wait
+    // + encode only), interleaved with real queries slow enough to cross
+    // the 1 ms threshold.
+    let mut c = Client::connect(&server.addr(), Duration::from_secs(5)).expect("connect");
+    for round in 0..10u64 {
+        let mut ids = Vec::new();
+        for _ in 0..3 {
+            ids.push(c.send(&Request::Sleep { ms: 40 }, 8).expect("send"));
+        }
+        if round % 2 == 0 {
+            ids.push(c.send(&Request::Footprint { top_n: 8 }, 0).expect("send"));
+        }
+        for _ in &ids {
+            let _ = c.recv().expect("typed response, not a hang");
+        }
+    }
+    let timeouts = server.registry().perf_value("serve.err", "timeout");
+    assert!(timeouts > 0, "the storm never produced a timeout");
+    server.drain();
+
+    let text = std::fs::read_to_string(&path).expect("slow log written");
+    let parsed = Registry::from_json_lines(&text).expect("slow log parses");
+    let spans = parsed.spans();
+    // Regroup the file into entries: roots carry the request metadata.
+    let mut entries = 0u64;
+    for (i, root) in spans.iter().enumerate() {
+        if root.parent.is_some() {
+            continue;
+        }
+        entries += 1;
+        assert!(
+            root.name.starts_with("slow."),
+            "root name carries metadata: {}",
+            root.name
+        );
+        assert!(root.name.contains("conn=") && root.name.contains("status="));
+        let wall = root.dur_us.unwrap_or(0).max(1);
+        let direct: u64 = spans
+            .iter()
+            .filter(|s| s.parent == Some(i))
+            .map(|s| s.dur_us.unwrap_or(0))
+            .sum();
+        assert!(
+            direct as f64 >= 0.95 * wall as f64,
+            "span breakdown covers {direct} of {wall} us (< 95%) for {}",
+            root.name
+        );
+    }
+    assert!(entries >= 30, "expected the storm's requests in the slow log, got {entries}");
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Loadgen attribution: typed errors broken out by request kind
+// ---------------------------------------------------------------------------
+
+/// With the single worker pinned and the queue at capacity 1, every
+/// loadgen request fails typed — and the summary must attribute each
+/// failure to its request kind, not just report one failure total.
+#[test]
+fn loadgen_summary_attributes_typed_errors_by_kind() {
+    let igdb = fresh_igdb();
+    let cfg = ServerConfig { queue_capacity: 1, ..chaos_cfg(1) };
+    let server = start_unix(Arc::clone(&igdb), "lgerr", cfg);
+
+    // Pin the worker, confirmed via inline Stats.
+    let mut occupier =
+        Client::connect(&server.addr(), Duration::from_secs(5)).expect("connect occupier");
+    let mut control =
+        Client::connect(&server.addr(), Duration::from_secs(5)).expect("connect control");
+    occupier.send(&Request::Sleep { ms: 700 }, 10_000).expect("send sleep");
+    let t0 = std::time::Instant::now();
+    loop {
+        match control.call(&Request::Stats, 0).expect("stats") {
+            Response::Stats { busy_workers: 1, .. } => break,
+            _ if t0.elapsed() < Duration::from_secs(5) => {
+                std::thread::sleep(Duration::from_millis(2))
+            }
+            other => panic!("worker never pinned: {other:?}"),
+        }
+    }
+
+    // Open-loop load against a stuck server: everything admitted expires
+    // in the queue (Timeout), everything else sheds (Overloaded).
+    let loadgen = LoadgenConfig {
+        requests: 40,
+        conns: 2,
+        seed: 7,
+        qps: 200.0,
+        deadline_ms: 5,
+        ..LoadgenConfig::default()
+    };
+    let reg = Registry::new();
+    let summary = igdb_serve::run_loadgen(&server.addr(), igdb.metros.len(), &loadgen, &reg);
+    let (_, resp) = occupier.recv().expect("occupier response");
+    assert_eq!(resp, Response::Slept);
+
+    assert_eq!(summary.lost, 0, "typed errors, not lost responses");
+    assert_eq!(summary.ok, 0, "nothing can succeed against a pinned worker");
+    assert_eq!(summary.error_total(), 40);
+    // The breakout attributes every failure to a (kind, error) pair and
+    // sums back to the total — a storm is attributable, not one number.
+    let by_kind_total: u64 = summary.errors_by_kind.iter().map(|&(_, _, c)| c).sum();
+    assert_eq!(by_kind_total, summary.error_total());
+    for &(kind, name, count) in &summary.errors_by_kind {
+        assert!(["ping", "sp_query", "sp_batch", "risk", "footprint"].contains(&kind));
+        assert!(["timeout", "overloaded"].contains(&name), "unexpected error {name}");
+        assert!(count > 0);
+    }
+    assert!(summary.error_count("overloaded") > 0, "queue never shed: {summary:?}");
+    // The render carries the attribution for the CLI/chaos artifacts.
+    if summary.error_total() > 0 {
+        assert!(summary.render().contains("errors by kind:"));
+    }
+    server.drain();
+}
+
+// ---------------------------------------------------------------------------
 // TCP transport
 // ---------------------------------------------------------------------------
 
